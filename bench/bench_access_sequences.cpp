@@ -1,0 +1,74 @@
+//===- bench/bench_access_sequences.cpp - Paper Tab. 3 ------------------------===//
+//
+// Part of the gpuwmm project, a reproduction of "Exposing Errors Related to
+// Weak Memory in GPU Applications" (Sorensen & Donaldson, PLDI 2016).
+//
+// Regenerates Tab. 3: the ranking of all 63 access sequences on the GTX
+// Titan — the top and bottom three per litmus test, plus the selected
+// (Pareto-optimal, tie-broken) sequence and its per-test ranks. The shape
+// to check: orders-of-magnitude spread between the best and worst
+// sequences, with all-store sequences at the bottom, and a winner that
+// mixes loads and stores without being #1 on any single test.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Options.h"
+#include "support/Table.h"
+#include "tuning/SequenceTuner.h"
+
+#include <cstdio>
+#include <iostream>
+
+using namespace gpuwmm;
+using litmus::AllLitmusKinds;
+
+int main(int Argc, char **Argv) {
+  Options Opts(Argc, Argv);
+  const std::string ChipName = Opts.getString("chip", "titan");
+  const unsigned C =
+      static_cast<unsigned>(Opts.getInt("executions", scaledCount(40)));
+  const uint64_t Seed = static_cast<uint64_t>(Opts.getInt("seed", 29));
+
+  const sim::ChipProfile *Chip = sim::ChipProfile::lookup(ChipName);
+  if (!Chip) {
+    std::fprintf(stderr, "error: unknown chip '%s'\n", ChipName.c_str());
+    return 1;
+  }
+
+  std::printf("== Table 3: access-sequence ranking for %s ==\n\n",
+              Chip->Name);
+
+  tuning::SequenceTuner Tuner(*Chip, Seed);
+  tuning::SequenceTuner::Config Cfg;
+  Cfg.Executions = C;
+  const auto Ranked = Tuner.rankAll(Chip->PatchSizeWords, Cfg);
+  const auto Best = tuning::SequenceTuner::selectBest(Ranked);
+
+  for (unsigned K = 0; K != 3; ++K) {
+    const auto Sorted = tuning::SequenceTuner::sortedByKind(Ranked, K);
+    std::printf("-- %s --\n", litmusName(AllLitmusKinds[K]));
+    Table T({"rank", "sigma", "score"});
+    for (size_t I = 0; I != 3; ++I)
+      T.addRow({std::to_string(I + 1), Sorted[I].Seq.str(),
+                std::to_string(Sorted[I].Scores[K])});
+    // The selected sequence's rank on this test.
+    for (size_t I = 0; I != Sorted.size(); ++I) {
+      if (Sorted[I].Seq == Best) {
+        T.addRow({std::to_string(I + 1) + " (selected)", Best.str(),
+                  std::to_string(Sorted[I].Scores[K])});
+        break;
+      }
+    }
+    for (size_t I = Sorted.size() - 3; I != Sorted.size(); ++I)
+      T.addRow({std::to_string(I + 1), Sorted[I].Seq.str(),
+                std::to_string(Sorted[I].Scores[K])});
+    T.print(std::cout);
+    std::printf("\n");
+  }
+
+  std::printf("selected sequence (Pareto + 2-of-3 tie-break): \"%s\"\n"
+              "(paper's Titan winner: \"ld st2 ld\", ranked 17th on every "
+              "individual test, ~1000x above the all-store bottom ranks)\n",
+              Best.str().c_str());
+  return 0;
+}

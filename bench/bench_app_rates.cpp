@@ -1,0 +1,78 @@
+//===- bench/bench_app_rates.cpp - Per-application error-rate diagnostics ----===//
+//
+// Part of the gpuwmm project, a reproduction of "Exposing Errors Related to
+// Weak Memory in GPU Applications" (Sorensen & Donaldson, PLDI 2016).
+//
+// Diagnostic companion to Tab. 5: prints, for one chip, the raw error rate
+// of every application under every testing environment (the aggregated a/b
+// summary hides these). Also reports SC-mode sanity (must be 0 errors) and
+// mean simulated runtime.
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/EnvironmentRunner.h"
+#include "support/Options.h"
+#include "support/Table.h"
+
+#include <cstdio>
+#include <iostream>
+
+using namespace gpuwmm;
+
+int main(int Argc, char **Argv) {
+  Options Opts(Argc, Argv);
+  const std::string ChipName = Opts.getString("chip", "titan");
+  const unsigned Runs =
+      static_cast<unsigned>(Opts.getInt("runs", scaledCount(60)));
+  const uint64_t Seed = static_cast<uint64_t>(Opts.getInt("seed", 21));
+  const std::string OnlyApp = Opts.getString("app", "");
+
+  const sim::ChipProfile *Chip = sim::ChipProfile::lookup(ChipName);
+  if (!Chip) {
+    std::fprintf(stderr, "error: unknown chip '%s'\n", ChipName.c_str());
+    return 1;
+  }
+  const auto Tuned = stress::TunedStressParams::paperDefaults(*Chip);
+
+  std::printf("== Error rates per application and environment: %s, %u runs "
+              "each ==\n\n",
+              Chip->Name, Runs);
+
+  std::vector<std::string> Headers{"app"};
+  for (const auto &Env : stress::Environment::all())
+    Headers.push_back(Env.name());
+  Headers.push_back("SC");
+  Table T(Headers);
+
+  for (apps::AppKind App : apps::AllAppKinds) {
+    if (!OnlyApp.empty() && OnlyApp != apps::appName(App))
+      continue;
+    std::vector<std::string> Row{apps::appName(App)};
+    for (const auto &Env : stress::Environment::all()) {
+      const auto Cell = harness::runCell(
+          App, *Chip, Env, Tuned, Runs,
+          Seed + static_cast<uint64_t>(App) * 131);
+      char Buf[32];
+      std::snprintf(Buf, sizeof(Buf), "%.0f%%%s",
+                    100.0 * Cell.errorRate(),
+                    Cell.Timeouts ? "t" : "");
+      Row.push_back(Buf);
+    }
+    // SC sanity: the application must always pass under sequential
+    // consistency (its races are benign by design).
+    unsigned ScErrors = 0;
+    Rng Master(Seed ^ 0xabcdef);
+    for (unsigned I = 0; I != std::min(Runs, 20u); ++I) {
+      const auto V = apps::runApplicationOnce(
+          App, *Chip, {stress::StressKind::None, false}, Tuned, nullptr,
+          Master.fork(I).next(), /*Sequential=*/true);
+      ScErrors += apps::isErroneous(V);
+    }
+    Row.push_back(ScErrors ? std::to_string(ScErrors) + "!" : "ok");
+    T.addRow(Row);
+  }
+  T.print(std::cout);
+  std::printf("\n('t' marks cells where some erroneous runs were timeouts; "
+              "SC column must be 'ok')\n");
+  return 0;
+}

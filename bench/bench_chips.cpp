@@ -1,0 +1,38 @@
+//===- bench/bench_chips.cpp - Paper Tab. 1 -----------------------------------===//
+//
+// Part of the gpuwmm project, a reproduction of "Exposing Errors Related to
+// Weak Memory in GPU Applications" (Sorensen & Donaldson, PLDI 2016).
+//
+// Regenerates Tab. 1: the seven GPUs under study, with the simulator-model
+// parameters standing in for each physical chip.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/ChipProfile.h"
+#include "support/Table.h"
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+using namespace gpuwmm;
+
+int main() {
+  std::printf("== Table 1: the seven Nvidia GPUs that we study (simulated "
+              "profiles) ==\n\n");
+  Table T({"chip", "architecture", "short name", "released", "patch (w)",
+           "banks", "SMs", "drain base", "sensitivity", "power query"});
+  size_t Count = 0;
+  const sim::ChipProfile *Chips = sim::ChipProfile::all(Count);
+  for (size_t I = 0; I != Count; ++I) {
+    const sim::ChipProfile &C = Chips[I];
+    T.addRow({C.Name, archName(C.Arch), C.ShortName,
+              std::to_string(C.ReleaseYear),
+              std::to_string(C.PatchSizeWords), std::to_string(C.NumBanks),
+              std::to_string(C.NumSMs), formatDouble(C.DrainBase, 2),
+              formatDouble(C.Sensitivity, 2),
+              C.SupportsPowerQuery ? "yes (NVML)" : "no"});
+  }
+  T.print(std::cout);
+  return 0;
+}

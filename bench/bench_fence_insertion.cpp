@@ -1,0 +1,121 @@
+//===- bench/bench_fence_insertion.cpp - Paper Tab. 6 -------------------------===//
+//
+// Part of the gpuwmm project, a reproduction of "Exposing Errors Related to
+// Weak Memory in GPU Applications" (Sorensen & Donaldson, PLDI 2016).
+//
+// Regenerates Tab. 6: empirical fence insertion on the seven fenceless
+// applications, across all chips. Reports the initial fence count (one
+// after every instrumented access), the reduced count on the GTX Titan,
+// how many other chips converge to the same fence set as Titan, and the
+// min/median/max reduction cost.
+//
+//===----------------------------------------------------------------------===//
+
+#include "harden/FenceInsertion.h"
+#include "support/Options.h"
+#include "support/Statistics.h"
+#include "support/Table.h"
+
+#include <cstdio>
+#include <iostream>
+
+using namespace gpuwmm;
+
+namespace {
+
+const apps::AppKind FencelessApps[] = {
+    apps::AppKind::CbeHt,     apps::AppKind::CbeDot,
+    apps::AppKind::CtOctree,  apps::AppKind::TpoTm,
+    apps::AppKind::SdkRedNf,  apps::AppKind::CubScanNf,
+    apps::AppKind::LsBhNf};
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  Options Opts(Argc, Argv);
+  const uint64_t Seed = static_cast<uint64_t>(Opts.getInt("seed", 17));
+  const unsigned StableRuns = static_cast<unsigned>(
+      Opts.getInt("stable-runs", scaledCount(300)));
+  const unsigned InitialIters = static_cast<unsigned>(
+      Opts.getInt("iterations", 32));
+  const std::string OnlyApp = Opts.getString("app", "");
+  const bool Verbose = Opts.has("verbose");
+
+  std::printf("== Table 6: empirical fence insertion results ==\n");
+  std::printf("(environment: sys-str+; stability budget %u runs, initial "
+              "I=%u)\n\n",
+              StableRuns, InitialIters);
+
+  size_t NumChips = 0;
+  const sim::ChipProfile *Chips = sim::ChipProfile::all(NumChips);
+
+  Table T({"app", "init. fences", "red. (titan)", "titan fence sites",
+           "agreeing chips", "min (s)", "med (s)", "max (s)"});
+
+  for (apps::AppKind App : FencelessApps) {
+    if (!OnlyApp.empty() && OnlyApp != apps::appName(App))
+      continue;
+    const unsigned NumSites = apps::appNumSites(App);
+    const sim::FencePolicy Initial = sim::FencePolicy::all(NumSites);
+
+    sim::FencePolicy TitanFences;
+    std::vector<double> Times;
+    unsigned Agreeing = 0;
+
+    // Titan first (the paper's reference chip for Tab. 6), then the rest.
+    std::vector<const sim::ChipProfile *> Order;
+    Order.push_back(sim::ChipProfile::lookup("titan"));
+    for (size_t I = 0; I != NumChips; ++I)
+      if (std::string_view(Chips[I].ShortName) != "titan")
+        Order.push_back(&Chips[I]);
+
+    for (const sim::ChipProfile *Chip : Order) {
+      harden::AppCheckOracle Oracle(App, *Chip,
+                                    Seed + static_cast<uint64_t>(App) * 31,
+                                    StableRuns);
+      harden::InsertionConfig Cfg;
+      Cfg.InitialIterations = InitialIters;
+      const auto R =
+          harden::empiricalFenceInsertion(Initial, Oracle, Cfg);
+      Times.push_back(R.WallSeconds);
+      if (std::string_view(Chip->ShortName) == "titan") {
+        TitanFences = R.Fences;
+      } else if (R.Fences == TitanFences) {
+        ++Agreeing;
+      }
+      if (Verbose) {
+        std::printf("  %s/%s: %u fences {", apps::appName(App),
+                    Chip->ShortName, R.Fences.count());
+        auto AppInst = apps::makeApp(App);
+        for (unsigned S : R.Fences.sites())
+          std::printf(" %s;", AppInst->siteName(S));
+        std::printf(" } stable=%d rounds=%u\n", R.Stable, R.Rounds);
+      }
+    }
+
+    std::string SiteList;
+    auto AppInst = apps::makeApp(App);
+    for (unsigned S : TitanFences.sites()) {
+      if (!SiteList.empty())
+        SiteList += "; ";
+      SiteList += AppInst->siteName(S);
+    }
+
+    T.addRow({apps::appName(App), std::to_string(NumSites),
+              std::to_string(TitanFences.count()), SiteList,
+              std::to_string(Agreeing) + "/6",
+              formatDouble(quantile(Times, 0.0), 2),
+              formatDouble(median(Times), 2),
+              formatDouble(quantile(Times, 1.0), 2)});
+  }
+  T.print(std::cout);
+  std::printf(
+      "\nPaper (Tab. 6) reduced counts: cbe-ht 1, cbe-dot 1, ct-octree 1, "
+      "tpo-tm 1, sdk-red-nf 1, cub-scan-nf 2, ls-bh-nf 4.\n"
+      "Site counts differ from the paper's because instrumentation "
+      "granularity differs; the shape to check is: most applications "
+      "reduce to a single fence at the store the hand analyses blame, "
+      "cub-scan-nf reduces to exactly its two provided fences, and chips "
+      "mostly agree.\n");
+  return 0;
+}

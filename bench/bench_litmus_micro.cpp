@@ -1,0 +1,53 @@
+//===- bench/bench_litmus_micro.cpp - Litmus throughput benchmarks ------------===//
+//
+// Part of the gpuwmm project, a reproduction of "Exposing Errors Related to
+// Weak Memory in GPU Applications" (Sorensen & Donaldson, PLDI 2016).
+//
+// google-benchmark throughput of full litmus-test executions, the unit of
+// work the Sec. 3 tuning pipeline performs hundreds of millions of times
+// in the paper (half a billion micro-benchmark executions).
+//
+//===----------------------------------------------------------------------===//
+
+#include "litmus/Litmus.h"
+#include "stress/Environment.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace gpuwmm;
+using litmus::LitmusInstance;
+using litmus::LitmusKind;
+using litmus::LitmusRunner;
+
+namespace {
+
+void BM_LitmusNative(benchmark::State &State) {
+  const auto &Chip = *sim::ChipProfile::lookup("titan");
+  LitmusRunner Runner(Chip, 42);
+  const LitmusInstance T{static_cast<LitmusKind>(State.range(0)), 64};
+  unsigned Weak = 0;
+  for (auto _ : State)
+    Weak += Runner.runOnce(T, LitmusRunner::MicroStress::none());
+  benchmark::DoNotOptimize(Weak);
+  State.SetItemsProcessed(State.iterations());
+}
+
+void BM_LitmusStressed(benchmark::State &State) {
+  const auto &Chip = *sim::ChipProfile::lookup("titan");
+  LitmusRunner Runner(Chip, 42);
+  const LitmusInstance T{static_cast<LitmusKind>(State.range(0)), 64};
+  const auto Seq = stress::AccessSequence::parse("ld st2 ld");
+  const auto S = LitmusRunner::MicroStress::at(Seq, 64);
+  unsigned Weak = 0;
+  for (auto _ : State)
+    Weak += Runner.runOnce(T, S);
+  benchmark::DoNotOptimize(Weak);
+  State.SetItemsProcessed(State.iterations());
+}
+
+BENCHMARK(BM_LitmusNative)->Arg(0)->Arg(1)->Arg(2);
+BENCHMARK(BM_LitmusStressed)->Arg(0)->Arg(1)->Arg(2);
+
+} // namespace
+
+BENCHMARK_MAIN();

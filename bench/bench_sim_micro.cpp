@@ -1,0 +1,117 @@
+//===- bench/bench_sim_micro.cpp - Simulator micro-benchmarks -----------------===//
+//
+// Part of the gpuwmm project, a reproduction of "Exposing Errors Related to
+// Weak Memory in GPU Applications" (Sorensen & Donaldson, PLDI 2016).
+//
+// google-benchmark micro-benchmarks of the simulator's hot paths: the cost
+// of a full kernel execution dominated by loads, stores, atomics, fences
+// and barriers. These bound how many litmus/application executions per
+// second the experiment harnesses can sustain.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Device.h"
+#include "sim/ThreadContext.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace gpuwmm;
+using sim::Addr;
+using sim::Kernel;
+using sim::ThreadContext;
+using sim::Word;
+
+namespace {
+
+const sim::ChipProfile &titan() {
+  return *sim::ChipProfile::lookup("titan");
+}
+
+Kernel storeLoadKernel(ThreadContext &Ctx, Addr Base, unsigned Ops) {
+  const Addr Mine = Base + Ctx.globalId();
+  for (unsigned I = 0; I != Ops; ++I) {
+    co_await Ctx.st(Mine, I);
+    benchmark::DoNotOptimize(co_await Ctx.ld(Mine));
+  }
+}
+
+Kernel atomicKernel(ThreadContext &Ctx, Addr Counter, unsigned Ops) {
+  for (unsigned I = 0; I != Ops; ++I)
+    benchmark::DoNotOptimize(co_await Ctx.atomicAdd(Counter, 1));
+}
+
+Kernel fenceKernel(ThreadContext &Ctx, Addr Base, unsigned Ops) {
+  const Addr Mine = Base + Ctx.globalId();
+  for (unsigned I = 0; I != Ops; ++I) {
+    co_await Ctx.st(Mine, I);
+    co_await Ctx.fence();
+  }
+}
+
+Kernel barrierKernel(ThreadContext &Ctx, unsigned Ops) {
+  for (unsigned I = 0; I != Ops; ++I)
+    co_await Ctx.syncthreads();
+}
+
+void BM_StoreLoad(benchmark::State &State) {
+  const unsigned Ops = static_cast<unsigned>(State.range(0));
+  uint64_t Seed = 1;
+  for (auto _ : State) {
+    sim::Device Dev(titan(), Seed++);
+    const Addr Base = Dev.alloc(64);
+    Dev.run({2, 32}, [=](ThreadContext &Ctx) -> Kernel {
+      return storeLoadKernel(Ctx, Base, Ops);
+    });
+    benchmark::DoNotOptimize(Dev.read(Base));
+  }
+  State.SetItemsProcessed(State.iterations() * Ops * 64 * 2);
+}
+
+void BM_AtomicContention(benchmark::State &State) {
+  const unsigned Ops = static_cast<unsigned>(State.range(0));
+  uint64_t Seed = 1;
+  for (auto _ : State) {
+    sim::Device Dev(titan(), Seed++);
+    const Addr Counter = Dev.alloc(1);
+    Dev.run({2, 32}, [=](ThreadContext &Ctx) -> Kernel {
+      return atomicKernel(Ctx, Counter, Ops);
+    });
+    benchmark::DoNotOptimize(Dev.read(Counter));
+  }
+  State.SetItemsProcessed(State.iterations() * Ops * 64);
+}
+
+void BM_FenceHeavy(benchmark::State &State) {
+  const unsigned Ops = static_cast<unsigned>(State.range(0));
+  uint64_t Seed = 1;
+  for (auto _ : State) {
+    sim::Device Dev(titan(), Seed++);
+    const Addr Base = Dev.alloc(64);
+    Dev.run({2, 32}, [=](ThreadContext &Ctx) -> Kernel {
+      return fenceKernel(Ctx, Base, Ops);
+    });
+    benchmark::DoNotOptimize(Dev.read(Base));
+  }
+  State.SetItemsProcessed(State.iterations() * Ops * 64 * 2);
+}
+
+void BM_Barrier(benchmark::State &State) {
+  const unsigned Ops = static_cast<unsigned>(State.range(0));
+  uint64_t Seed = 1;
+  for (auto _ : State) {
+    sim::Device Dev(titan(), Seed++);
+    Dev.run({2, 32}, [=](ThreadContext &Ctx) -> Kernel {
+      return barrierKernel(Ctx, Ops);
+    });
+  }
+  State.SetItemsProcessed(State.iterations() * Ops * 64);
+}
+
+BENCHMARK(BM_StoreLoad)->Arg(16)->Arg(64);
+BENCHMARK(BM_AtomicContention)->Arg(16)->Arg(64);
+BENCHMARK(BM_FenceHeavy)->Arg(16);
+BENCHMARK(BM_Barrier)->Arg(16);
+
+} // namespace
+
+BENCHMARK_MAIN();

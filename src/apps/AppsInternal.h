@@ -1,0 +1,37 @@
+//===- apps/AppsInternal.h - Private app factory hooks ----------*- C++ -*-===//
+//
+// Part of the gpuwmm project, a reproduction of "Exposing Errors Related to
+// Weak Memory in GPU Applications" (Sorensen & Donaldson, PLDI 2016).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Internal factory functions wiring each case-study implementation into
+/// the registry in Application.cpp. Not part of the public API.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUWMM_APPS_APPSINTERNAL_H
+#define GPUWMM_APPS_APPSINTERNAL_H
+
+#include "apps/Application.h"
+
+#include <memory>
+
+namespace gpuwmm {
+namespace apps {
+namespace detail {
+
+std::unique_ptr<Application> makeCbeDot();
+std::unique_ptr<Application> makeCbeHashtable();
+std::unique_ptr<Application> makeCtOctree();
+std::unique_ptr<Application> makeTpoTaskMgmt();
+std::unique_ptr<Application> makeSdkReduction();
+std::unique_ptr<Application> makeCubScan();
+std::unique_ptr<Application> makeLsBarnesHut();
+
+} // namespace detail
+} // namespace apps
+} // namespace gpuwmm
+
+#endif // GPUWMM_APPS_APPSINTERNAL_H

@@ -1,0 +1,138 @@
+//===- apps/CbeDot.cpp - CUDA-by-Example dot product --------------------------===//
+//
+// Part of the gpuwmm project, a reproduction of "Exposing Errors Related to
+// Weak Memory in GPU Applications" (Sorensen & Donaldson, PLDI 2016).
+//
+// The paper's running example (Fig. 1), extracted from the dot product of
+// the book CUDA by Example [45, ch. A1.2]: each block reduces its partial
+// products in (shared) cache memory, then block leaders accumulate into a
+// single global cell *c under a custom spinlock. Correctness depends on
+// the store to *c draining before the unlock becomes visible; on a weak
+// machine the unlock (an atomic, L2-direct) can overtake the buffered
+// store, and the next lock holder reads a stale *c — a lost update.
+//
+// Integer arithmetic replaces the book's floats so the reference result is
+// exact.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/AppsInternal.h"
+
+#include "sim/ThreadContext.h"
+
+using namespace gpuwmm;
+using namespace gpuwmm::apps;
+using sim::Addr;
+using sim::Kernel;
+using sim::ThreadContext;
+using sim::Word;
+
+namespace {
+
+/// Fence-insertion sites (every global access in the dot kernel; the
+/// block-local cache models shared memory and is exempt, as in CUDA).
+enum Site : int {
+  SiteLoadInput = 0, ///< a[tid] / b[tid] loads.
+  SiteLockCAS,       ///< atomicCAS in lock().
+  SiteLoadC,         ///< load of *c in the critical section.
+  SiteStoreC,        ///< store of *c in the critical section (the bug).
+  SiteUnlockExch,    ///< atomicExch in unlock().
+  NumSites
+};
+
+const char *const SiteNames[NumSites] = {
+    "load a[i]/b[i]",
+    "lock: atomicCAS(mutex)",
+    "critical: load *c",
+    "critical: store *c",
+    "unlock: atomicExch(mutex)",
+};
+
+constexpr unsigned N = 256;
+constexpr unsigned GridDim = 4;
+constexpr unsigned BlockDim = 32;
+
+Kernel dotKernel(ThreadContext &Ctx, Addr A, Addr B, Addr Cache, Addr Mutex,
+                 Addr C) {
+  const unsigned CacheBase = Ctx.blockIdx() * Ctx.blockDim();
+  const unsigned CacheIndex = Ctx.threadIdx();
+
+  // Grid-stride partial products.
+  Word Temp = 0;
+  for (unsigned I = Ctx.globalId(); I < N;
+       I += Ctx.blockDim() * Ctx.gridDim()) {
+    const Word Av = co_await Ctx.ld(A + I, SiteLoadInput);
+    const Word Bv = co_await Ctx.ld(B + I, SiteLoadInput);
+    Temp += Av * Bv;
+  }
+
+  // Block-local reduction through the (shared-memory) cache.
+  co_await Ctx.st(Cache + CacheBase + CacheIndex, Temp);
+  co_await Ctx.syncthreads();
+  if (CacheIndex != 0)
+    co_return;
+  Word BlockSum = 0;
+  for (unsigned I = 0; I != Ctx.blockDim(); ++I)
+    BlockSum += co_await Ctx.ld(Cache + CacheBase + I);
+
+  // lock(mutex); *c += blockSum; unlock(mutex);  (Fig. 1, lines 13-16)
+  // Awaits stay out of conditions (GCC 12 coroutine bug).
+  for (;;) {
+    const Word Lock = co_await Ctx.atomicCAS(Mutex, 0, 1, SiteLockCAS);
+    if (Lock == 0)
+      break;
+    // Randomised backoff (see tpo-tm): avoids deterministic starvation.
+    co_await Ctx.yield(1 + static_cast<unsigned>(Ctx.rand(3)));
+  }
+  const Word Old = co_await Ctx.ld(C, SiteLoadC);
+  co_await Ctx.st(C, Old + BlockSum, SiteStoreC);
+  co_await Ctx.atomicExch(Mutex, 0, SiteUnlockExch);
+}
+
+class CbeDot final : public Application {
+public:
+  const char *name() const override { return "cbe-dot"; }
+  unsigned numSites() const override { return NumSites; }
+  const char *siteName(unsigned Site) const override {
+    return SiteNames[Site];
+  }
+
+  void setup(sim::Device &Dev, Rng &R) override {
+    A = Dev.alloc(N);
+    B = Dev.alloc(N);
+    Cache = Dev.alloc(GridDim * BlockDim);
+    Mutex = Dev.alloc(1);
+    C = Dev.alloc(1);
+    Expected = 0;
+    for (unsigned I = 0; I != N; ++I) {
+      const Word Av = static_cast<Word>(R.below(8));
+      const Word Bv = static_cast<Word>(R.below(8));
+      Dev.write(A + I, Av);
+      Dev.write(B + I, Bv);
+      Expected += Av * Bv;
+    }
+  }
+
+  bool run(sim::Device &Dev) override {
+    const Addr Av = A, Bv = B, CacheV = Cache, MutexV = Mutex, CV = C;
+    const sim::RunResult Result = Dev.run(
+        {GridDim, BlockDim}, [=](ThreadContext &Ctx) -> Kernel {
+          return dotKernel(Ctx, Av, Bv, CacheV, MutexV, CV);
+        });
+    return Result.completed();
+  }
+
+  bool checkPostCondition(const sim::Device &Dev) const override {
+    return Dev.read(C) == Expected;
+  }
+
+private:
+  Addr A = 0, B = 0, Cache = 0, Mutex = 0, C = 0;
+  Word Expected = 0;
+};
+
+} // namespace
+
+std::unique_ptr<Application> apps::detail::makeCbeDot() {
+  return std::make_unique<CbeDot>();
+}

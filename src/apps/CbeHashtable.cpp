@@ -1,0 +1,163 @@
+//===- apps/CbeHashtable.cpp - CUDA-by-Example hashtable ----------------------===//
+//
+// Part of the gpuwmm project, a reproduction of "Exposing Errors Related to
+// Weak Memory in GPU Applications" (Sorensen & Donaldson, PLDI 2016).
+//
+// The concurrent hashtable of CUDA by Example [45, ch. A1.3]: threads
+// insert key entries into per-bucket linked lists, each bucket protected by
+// a custom spinlock. The post-condition (Tab. 4) checks that every
+// inserted element is present in the final table exactly once.
+//
+// Weak-memory defect: the store publishing the new list head is a plain
+// store that can stay buffered past the atomic unlock. The next inserter
+// then links its node to the stale head, and whichever head-store drains
+// last orphans the other chain — an element disappears.
+//
+// This is the paper's most provocable application: its many lock
+// hand-offs per run make it the only case study to exhibit native errors
+// (on the GTX 770) and the only one most of the weaker stressing
+// strategies can expose (Tab. 5).
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/AppsInternal.h"
+
+#include "sim/ThreadContext.h"
+
+#include <vector>
+
+using namespace gpuwmm;
+using namespace gpuwmm::apps;
+using sim::Addr;
+using sim::Kernel;
+using sim::ThreadContext;
+using sim::Word;
+
+namespace {
+
+enum Site : int {
+  SiteLockCAS = 0,  ///< atomicCAS acquiring the bucket lock.
+  SiteHeadLd,       ///< load of the bucket's current head.
+  SiteNextSt,       ///< store of node->next.
+  SiteKeySt,        ///< store of node->key.
+  SiteHeadSt,       ///< store publishing the new head (the bug).
+  SiteUnlockExch,   ///< atomicExch releasing the bucket lock.
+  NumSites
+};
+
+const char *const SiteNames[NumSites] = {
+    "lock: atomicCAS(bucket mutex)",
+    "insert: load bucket head",
+    "insert: store node->next",
+    "insert: store node->key",
+    "insert: store bucket head",
+    "unlock: atomicExch(bucket mutex)",
+};
+
+constexpr unsigned NumBuckets = 8;
+constexpr unsigned GridDim = 2;
+constexpr unsigned BlockDim = 32;
+constexpr unsigned KeysPerThread = 2;
+constexpr unsigned NumKeys = GridDim * BlockDim * KeysPerThread;
+constexpr Word NilIndex = 0xffffffffu;
+
+unsigned hashKey(Word Key) { return (Key * 2654435761u) % NumBuckets; }
+
+Kernel insertKernel(ThreadContext &Ctx, Addr Keys, Addr Heads, Addr Mutexes,
+                    Addr NodeKeys, Addr NodeNexts) {
+  for (unsigned I = 0; I != KeysPerThread; ++I) {
+    const unsigned NodeIdx = Ctx.globalId() * KeysPerThread + I;
+    const Word Key = co_await Ctx.ld(Keys + NodeIdx);
+    const unsigned Bucket = hashKey(Key);
+
+    // Awaits stay out of conditions (GCC 12 coroutine bug).
+    for (;;) {
+      const Word Lock =
+          co_await Ctx.atomicCAS(Mutexes + Bucket, 0, 1, SiteLockCAS);
+      if (Lock == 0)
+        break;
+      // Randomised backoff (see tpo-tm): avoids deterministic starvation.
+      co_await Ctx.yield(1 + static_cast<unsigned>(Ctx.rand(3)));
+    }
+
+    const Word OldHead = co_await Ctx.ld(Heads + Bucket, SiteHeadLd);
+    co_await Ctx.st(NodeNexts + NodeIdx, OldHead, SiteNextSt);
+    co_await Ctx.st(NodeKeys + NodeIdx, Key, SiteKeySt);
+    co_await Ctx.st(Heads + Bucket, NodeIdx, SiteHeadSt);
+
+    co_await Ctx.atomicExch(Mutexes + Bucket, 0, SiteUnlockExch);
+  }
+}
+
+class CbeHashtable final : public Application {
+public:
+  const char *name() const override { return "cbe-ht"; }
+  unsigned numSites() const override { return NumSites; }
+  const char *siteName(unsigned Site) const override {
+    return SiteNames[Site];
+  }
+
+  void setup(sim::Device &Dev, Rng &R) override {
+    Keys = Dev.alloc(NumKeys);
+    Heads = Dev.alloc(NumBuckets);
+    Mutexes = Dev.alloc(NumBuckets);
+    NodeKeys = Dev.alloc(NumKeys);
+    NodeNexts = Dev.alloc(NumKeys);
+    InsertedKeys.clear();
+    for (unsigned I = 0; I != NumKeys; ++I) {
+      // Distinct keys so "exactly once" is checkable.
+      const Word Key = static_cast<Word>(I * 7 + 1 + R.below(3) * NumKeys * 8);
+      InsertedKeys.push_back(Key);
+      Dev.write(Keys + I, Key);
+    }
+    for (unsigned B = 0; B != NumBuckets; ++B)
+      Dev.write(Heads + B, NilIndex);
+    for (unsigned I = 0; I != NumKeys; ++I)
+      Dev.write(NodeNexts + I, NilIndex);
+  }
+
+  bool run(sim::Device &Dev) override {
+    const Addr KeysV = Keys, HeadsV = Heads, MutexesV = Mutexes,
+               NodeKeysV = NodeKeys, NodeNextsV = NodeNexts;
+    const sim::RunResult Result = Dev.run(
+        {GridDim, BlockDim}, [=](ThreadContext &Ctx) -> Kernel {
+          return insertKernel(Ctx, KeysV, HeadsV, MutexesV, NodeKeysV,
+                              NodeNextsV);
+        });
+    return Result.completed();
+  }
+
+  bool checkPostCondition(const sim::Device &Dev) const override {
+    // Walk every bucket chain; every inserted key must appear exactly once
+    // in the bucket its hash selects.
+    std::vector<unsigned> Seen(NumKeys, 0);
+    for (unsigned B = 0; B != NumBuckets; ++B) {
+      Word Cur = Dev.read(Heads + B);
+      unsigned Steps = 0;
+      while (Cur != NilIndex) {
+        if (Cur >= NumKeys || ++Steps > NumKeys)
+          return false; // Corrupt link or cycle.
+        const Word Key = Dev.read(NodeKeys + Cur);
+        if (Key != InsertedKeys[Cur] || hashKey(Key) != B)
+          return false;
+        if (++Seen[Cur] > 1)
+          return false;
+        Cur = Dev.read(NodeNexts + Cur);
+      }
+    }
+    for (unsigned I = 0; I != NumKeys; ++I)
+      if (Seen[I] != 1)
+        return false;
+    return true;
+  }
+
+private:
+  Addr Keys = 0, Heads = 0, Mutexes = 0, NodeKeys = 0, NodeNexts = 0;
+  std::vector<Word> InsertedKeys;
+};
+
+} // namespace
+
+std::unique_ptr<Application> apps::detail::makeCbeHashtable() {
+  return std::make_unique<CbeHashtable>();
+}

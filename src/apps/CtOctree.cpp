@@ -1,0 +1,194 @@
+//===- apps/CtOctree.cpp - Cederman-Tsigas octree partitioning ----------------===//
+//
+// Part of the gpuwmm project, a reproduction of "Exposing Errors Related to
+// Weak Memory in GPU Applications" (Sorensen & Donaldson, PLDI 2016).
+//
+// Octree (here: quadtree over 2-D points, the dimensionality is
+// inessential) partitioning in the style of Cederman and Tsigas
+// [22, ch. 37]: a shared work queue of (point, cell, depth) items is
+// consumed by workers that classify each point one level deeper, either
+// re-enqueueing it or — at the leaf level — depositing it in its final
+// cell. The queue is non-blocking: producers reserve a slot with an atomic
+// and then publish payload and ready flag with plain stores.
+//
+// Weak-memory defect: the ready-flag store can become visible while the
+// payload store is still buffered, so a consumer reads a stale payload —
+// a particle is misclassified or lost, violating Tab. 4's post-condition
+// that all original particles end up in the final octree.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/AppsInternal.h"
+
+#include "sim/ThreadContext.h"
+
+#include <vector>
+
+using namespace gpuwmm;
+using namespace gpuwmm::apps;
+using sim::Addr;
+using sim::Kernel;
+using sim::ThreadContext;
+using sim::Word;
+
+namespace {
+
+enum Site : int {
+  SiteBufSt = 0,  ///< store of the queue payload (the bug).
+  SiteReadySt,    ///< store of the slot's ready flag.
+  SiteReadyLd,    ///< consumer's poll of the ready flag.
+  SiteBufLd,      ///< consumer's load of the payload.
+  SiteLeafAdd,    ///< atomicAdd on a leaf cell's occupancy counter.
+  NumSites
+};
+
+const char *const SiteNames[NumSites] = {
+    "enqueue: store buf[slot]",
+    "enqueue: store ready[slot]",
+    "dequeue: load ready[slot]",
+    "dequeue: load buf[slot]",
+    "leaf: atomicAdd(cell count)",
+};
+
+constexpr unsigned NumPoints = 48;
+constexpr unsigned GridDim = 4;
+constexpr unsigned BlockDim = 16;
+constexpr unsigned MaxDepth = 1;        ///< Items live at depths 0..MaxDepth.
+constexpr unsigned TotalPops = NumPoints * (MaxDepth + 1);
+constexpr unsigned QueueCap = TotalPops;
+constexpr unsigned CoordBits = 8;       ///< Points in [0, 256)^2.
+constexpr unsigned LeafCells = 16;      ///< 4^2 cells at depth 2.
+constexpr Word EmptySlot = 0xffffffffu;
+
+// Queue items pack (pointIdx:8 | x:8 | y:8 | depth:4 | cell:4... ) — we
+// store the point index and depth; coordinates live in a read-only array.
+Word packItem(unsigned PointIdx, unsigned Depth) {
+  return static_cast<Word>(PointIdx | (Depth << 16));
+}
+unsigned itemPoint(Word Item) { return Item & 0xffffu; }
+unsigned itemDepth(Word Item) { return (Item >> 16) & 0xffu; }
+
+/// The depth-2 leaf cell of a point: two levels of quadrant selection.
+unsigned leafCellOf(Word X, Word Y) {
+  const unsigned Qx1 = (X >> (CoordBits - 1)) & 1;
+  const unsigned Qy1 = (Y >> (CoordBits - 1)) & 1;
+  const unsigned Qx2 = (X >> (CoordBits - 2)) & 1;
+  const unsigned Qy2 = (Y >> (CoordBits - 2)) & 1;
+  return (((Qy1 << 1) | Qx1) << 2) | ((Qy2 << 1) | Qx2);
+}
+
+Kernel workerKernel(ThreadContext &Ctx, Addr Xs, Addr Ys, Addr Buf,
+                    Addr Ready, Addr Head, Addr Tail, Addr LeafCounts,
+                    Addr ErrorFlag) {
+  while (true) {
+    const Word H = co_await Ctx.atomicAdd(Head, 1);
+    if (H >= TotalPops)
+      co_return;
+
+    // Wait for the slot's payload to be published. (Awaits stay out of
+    // conditions: GCC 12 coroutine bug.)
+    for (;;) {
+      const Word IsReady = co_await Ctx.ld(Ready + H, SiteReadyLd);
+      if (IsReady != 0)
+        break;
+      co_await Ctx.yield(2 + static_cast<unsigned>(Ctx.rand(3)));
+    }
+    const Word Item = co_await Ctx.ld(Buf + H, SiteBufLd);
+
+    const unsigned PointIdx = itemPoint(Item);
+    if (Item == EmptySlot || PointIdx >= NumPoints) {
+      // Stale payload: the out-of-bounds queue access the post-condition
+      // (and, on the original code, a crash) would surface.
+      co_await Ctx.st(ErrorFlag, 1);
+      continue;
+    }
+
+    const Word X = co_await Ctx.ld(Xs + PointIdx);
+    const Word Y = co_await Ctx.ld(Ys + PointIdx);
+    const unsigned Depth = itemDepth(Item);
+    if (Depth < MaxDepth) {
+      // Push one level deeper: reserve, publish payload, publish flag.
+      const Word Slot = co_await Ctx.atomicAdd(Tail, 1);
+      if (Slot >= QueueCap) {
+        co_await Ctx.st(ErrorFlag, 1);
+        continue;
+      }
+      co_await Ctx.st(Buf + Slot, packItem(PointIdx, Depth + 1), SiteBufSt);
+      co_await Ctx.st(Ready + Slot, 1, SiteReadySt);
+      continue;
+    }
+    // Leaf level: deposit the particle in its final cell.
+    co_await Ctx.atomicAdd(LeafCounts + leafCellOf(X, Y), 1, SiteLeafAdd);
+  }
+}
+
+class CtOctree final : public Application {
+public:
+  const char *name() const override { return "ct-octree"; }
+  unsigned numSites() const override { return NumSites; }
+  const char *siteName(unsigned Site) const override {
+    return SiteNames[Site];
+  }
+
+  void setup(sim::Device &Dev, Rng &R) override {
+    Xs = Dev.alloc(NumPoints);
+    Ys = Dev.alloc(NumPoints);
+    Buf = Dev.alloc(QueueCap);
+    Ready = Dev.alloc(QueueCap);
+    Head = Dev.alloc(1);
+    Tail = Dev.alloc(1);
+    LeafCounts = Dev.alloc(LeafCells);
+    ErrorFlag = Dev.alloc(1);
+
+    ExpectedLeafCounts.assign(LeafCells, 0);
+    for (unsigned I = 0; I != NumPoints; ++I) {
+      const Word X = static_cast<Word>(R.below(1u << CoordBits));
+      const Word Y = static_cast<Word>(R.below(1u << CoordBits));
+      Dev.write(Xs + I, X);
+      Dev.write(Ys + I, Y);
+      ++ExpectedLeafCounts[leafCellOf(X, Y)];
+    }
+    for (unsigned I = 0; I != QueueCap; ++I) {
+      Dev.write(Buf + I, EmptySlot);
+      Dev.write(Ready + I, 0);
+    }
+    // Seed the queue with all points at depth 0.
+    for (unsigned I = 0; I != NumPoints; ++I) {
+      Dev.write(Buf + I, packItem(I, 0));
+      Dev.write(Ready + I, 1);
+    }
+    Dev.write(Tail, NumPoints);
+  }
+
+  bool run(sim::Device &Dev) override {
+    const Addr XsV = Xs, YsV = Ys, BufV = Buf, ReadyV = Ready,
+               HeadV = Head, TailV = Tail, LeafV = LeafCounts,
+               ErrV = ErrorFlag;
+    const sim::RunResult Result = Dev.run(
+        {GridDim, BlockDim}, [=](ThreadContext &Ctx) -> Kernel {
+          return workerKernel(Ctx, XsV, YsV, BufV, ReadyV, HeadV, TailV,
+                              LeafV, ErrV);
+        });
+    return Result.completed();
+  }
+
+  bool checkPostCondition(const sim::Device &Dev) const override {
+    if (Dev.read(ErrorFlag) != 0)
+      return false;
+    for (unsigned C = 0; C != LeafCells; ++C)
+      if (Dev.read(LeafCounts + C) != ExpectedLeafCounts[C])
+        return false;
+    return true;
+  }
+
+private:
+  Addr Xs = 0, Ys = 0, Buf = 0, Ready = 0, Head = 0, Tail = 0,
+       LeafCounts = 0, ErrorFlag = 0;
+  std::vector<Word> ExpectedLeafCounts;
+};
+
+} // namespace
+
+std::unique_ptr<Application> apps::detail::makeCtOctree() {
+  return std::make_unique<CtOctree>();
+}

@@ -1,0 +1,178 @@
+//===- apps/CubScan.cpp - CUB decoupled-lookback prefix scan ------------------===//
+//
+// Part of the gpuwmm project, a reproduction of "Exposing Errors Related to
+// Weak Memory in GPU Applications" (Sorensen & Donaldson, PLDI 2016).
+//
+// The single-pass "decoupled lookback" prefix scan of the CUB library:
+// every block publishes its local aggregate, then walks backwards over its
+// predecessors' status flags, summing published aggregates until it meets
+// an inclusive prefix, and finally publishes its own inclusive prefix.
+// Each publication is an MP-style handshake: a data store (aggregate or
+// inclusive prefix) followed by a flag store. CUB places a __threadfence()
+// between data and flag on both handshakes; removing them (cub-scan-nf)
+// lets the flag overtake the buffered data store, so a consumer adds a
+// stale aggregate and the scan is wrong.
+//
+// As in the paper, original cub-scan never errs and the empirical fence
+// insertion on cub-scan-nf rediscovers exactly the two provided fences.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/AppsInternal.h"
+
+#include "sim/ThreadContext.h"
+
+#include <vector>
+
+using namespace gpuwmm;
+using namespace gpuwmm::apps;
+using sim::Addr;
+using sim::Kernel;
+using sim::ThreadContext;
+using sim::Word;
+
+namespace {
+
+enum Site : int {
+  SiteInLd = 0,   ///< input loads.
+  SiteAggSt,      ///< store of the block aggregate (bug #1).
+  SiteFlagAggSt,  ///< store of the AGGREGATE_READY flag.
+  SiteFlagLd,     ///< lookback flag polls.
+  SiteAggLd,      ///< lookback load of a predecessor aggregate.
+  SiteInclLd,     ///< lookback load of a predecessor inclusive prefix.
+  SiteInclSt,     ///< store of the inclusive prefix (bug #2).
+  SiteFlagInclSt, ///< store of the INCLUSIVE_READY flag.
+  SiteOutSt,      ///< output stores.
+  NumSites
+};
+
+const char *const SiteNames[NumSites] = {
+    "load in[i]",
+    "store aggregate[block]",
+    "store flag[block] = AGG",
+    "lookback: load flag[j]",
+    "lookback: load aggregate[j]",
+    "lookback: load inclusive[j]",
+    "store inclusive[block]",
+    "store flag[block] = INCL",
+    "store out[i]",
+};
+
+constexpr unsigned GridDim = 8;
+constexpr unsigned BlockDim = 32;
+constexpr unsigned N = GridDim * BlockDim;
+constexpr Word FlagEmpty = 0, FlagAgg = 1, FlagIncl = 2;
+
+Kernel scanKernel(ThreadContext &Ctx, Addr In, Addr Cache, Addr Aggregates,
+                  Addr Inclusives, Addr Flags, Addr Exclusive, Addr Out) {
+  const unsigned B = Ctx.blockIdx();
+  const unsigned CacheBase = B * Ctx.blockDim();
+  const unsigned Gid = Ctx.globalId();
+
+  // Stage values in the shared-memory cache.
+  const Word V = co_await Ctx.ld(In + Gid, SiteInLd);
+  co_await Ctx.st(Cache + CacheBase + Ctx.threadIdx(), V);
+  co_await Ctx.syncthreads();
+
+  if (Ctx.threadIdx() == 0) {
+    // Leader: block-local inclusive scan in shared memory.
+    Word Running = 0;
+    for (unsigned I = 0; I != Ctx.blockDim(); ++I) {
+      Running += co_await Ctx.ld(Cache + CacheBase + I);
+      co_await Ctx.st(Cache + CacheBase + I, Running);
+    }
+    const Word Aggregate = Running;
+
+    // Handshake 1: publish the block aggregate.
+    co_await Ctx.st(Aggregates + B, Aggregate, SiteAggSt);
+    co_await Ctx.builtinFence(); // CUB's first __threadfence().
+    co_await Ctx.st(Flags + B, FlagAgg, SiteFlagAggSt);
+
+    // Decoupled lookback for the exclusive prefix.
+    Word Prefix = 0;
+    if (B != 0) {
+      for (unsigned J = B; J-- != 0;) {
+        Word Flag;
+        do {
+          Flag = co_await Ctx.ld(Flags + J, SiteFlagLd);
+          if (Flag == FlagEmpty)
+            co_await Ctx.yield(2);
+        } while (Flag == FlagEmpty);
+        if (Flag == FlagIncl) {
+          Prefix += co_await Ctx.ld(Inclusives + J, SiteInclLd);
+          break;
+        }
+        Prefix += co_await Ctx.ld(Aggregates + J, SiteAggLd);
+      }
+    }
+
+    // Handshake 2: publish the inclusive prefix.
+    co_await Ctx.st(Inclusives + B, Prefix + Aggregate, SiteInclSt);
+    co_await Ctx.builtinFence(); // CUB's second __threadfence().
+    co_await Ctx.st(Flags + B, FlagIncl, SiteFlagInclSt);
+
+    co_await Ctx.st(Exclusive + B, Prefix); // Block-local broadcast slot.
+  }
+  co_await Ctx.syncthreads();
+
+  const Word Prefix = co_await Ctx.ld(Exclusive + B);
+  const Word Scanned = co_await Ctx.ld(Cache + CacheBase + Ctx.threadIdx());
+  co_await Ctx.st(Out + Gid, Prefix + Scanned, SiteOutSt);
+}
+
+class CubScan final : public Application {
+public:
+  const char *name() const override { return "cub-scan"; }
+  unsigned numSites() const override { return NumSites; }
+  const char *siteName(unsigned Site) const override {
+    return SiteNames[Site];
+  }
+
+  void setup(sim::Device &Dev, Rng &R) override {
+    In = Dev.alloc(N);
+    Cache = Dev.alloc(N);
+    Aggregates = Dev.alloc(GridDim);
+    Inclusives = Dev.alloc(GridDim);
+    Flags = Dev.alloc(GridDim);
+    Exclusive = Dev.alloc(GridDim);
+    Out = Dev.alloc(N);
+    Expected.assign(N, 0);
+    Word Running = 0;
+    for (unsigned I = 0; I != N; ++I) {
+      const Word V = static_cast<Word>(R.below(50));
+      Dev.write(In + I, V);
+      Running += V;
+      Expected[I] = Running; // Inclusive scan.
+    }
+  }
+
+  bool run(sim::Device &Dev) override {
+    const Addr InV = In, CacheV = Cache, AggV = Aggregates,
+               InclV = Inclusives, FlagsV = Flags, ExclV = Exclusive,
+               OutV = Out;
+    const sim::RunResult Result = Dev.run(
+        {GridDim, BlockDim}, [=](ThreadContext &Ctx) -> Kernel {
+          return scanKernel(Ctx, InV, CacheV, AggV, InclV, FlagsV, ExclV,
+                            OutV);
+        });
+    return Result.completed();
+  }
+
+  bool checkPostCondition(const sim::Device &Dev) const override {
+    for (unsigned I = 0; I != N; ++I)
+      if (Dev.read(Out + I) != Expected[I])
+        return false;
+    return true;
+  }
+
+private:
+  Addr In = 0, Cache = 0, Aggregates = 0, Inclusives = 0, Flags = 0,
+       Exclusive = 0, Out = 0;
+  std::vector<Word> Expected;
+};
+
+} // namespace
+
+std::unique_ptr<Application> apps::detail::makeCubScan() {
+  return std::make_unique<CubScan>();
+}

@@ -1,0 +1,132 @@
+//===- apps/SdkReduction.cpp - CUDA SDK threadFenceReduction ------------------===//
+//
+// Part of the gpuwmm project, a reproduction of "Exposing Errors Related to
+// Weak Memory in GPU Applications" (Sorensen & Donaldson, PLDI 2016).
+//
+// The single-pass reduction from the CUDA SDK samples
+// (threadFenceReduction): every block reduces its slice and stores a
+// partial sum; an atomic counter elects the last block to finish, which
+// combines the partials. The original kernel places a __threadfence()
+// between the partial-sum store and the counter increment — exactly the
+// ordering a weak machine needs. The paper's sdk-red-nf variant removes
+// that fence; the partial store can then still be buffered when the last
+// block reads it, producing a wrong total.
+//
+// As in the paper, the original (fenced) sdk-red never exhibits errors;
+// only the -nf variant does (Tab. 5).
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/AppsInternal.h"
+
+#include "sim/ThreadContext.h"
+
+using namespace gpuwmm;
+using namespace gpuwmm::apps;
+using sim::Addr;
+using sim::Kernel;
+using sim::ThreadContext;
+using sim::Word;
+
+namespace {
+
+enum Site : int {
+  SiteLoadInput = 0, ///< input loads.
+  SitePartialSt,     ///< store of the block's partial sum (the bug).
+  SiteCounterAdd,    ///< atomicAdd on the ticket counter.
+  SitePartialLd,     ///< last block's loads of the partials.
+  SiteOutSt,         ///< store of the final total.
+  NumSites
+};
+
+const char *const SiteNames[NumSites] = {
+    "load input[i]",
+    "store partial[block]",
+    "atomicAdd(ticket counter)",
+    "last block: load partial[b]",
+    "store out",
+};
+
+constexpr unsigned N = 256;
+constexpr unsigned GridDim = 8;
+constexpr unsigned BlockDim = 32;
+
+Kernel reduceKernel(ThreadContext &Ctx, Addr In, Addr Cache, Addr Partials,
+                    Addr Counter, Addr Out) {
+  const unsigned CacheBase = Ctx.blockIdx() * Ctx.blockDim();
+
+  // Grid-stride slice sum, then block reduction in shared-memory cache.
+  Word Temp = 0;
+  for (unsigned I = Ctx.globalId(); I < N;
+       I += Ctx.blockDim() * Ctx.gridDim())
+    Temp += co_await Ctx.ld(In + I, SiteLoadInput);
+  co_await Ctx.st(Cache + CacheBase + Ctx.threadIdx(), Temp);
+  co_await Ctx.syncthreads();
+  if (Ctx.threadIdx() != 0)
+    co_return;
+
+  Word BlockSum = 0;
+  for (unsigned I = 0; I != Ctx.blockDim(); ++I)
+    BlockSum += co_await Ctx.ld(Cache + CacheBase + I);
+  co_await Ctx.st(Partials + Ctx.blockIdx(), BlockSum, SitePartialSt);
+
+  // The SDK kernel's __threadfence() (removed in sdk-red-nf).
+  co_await Ctx.builtinFence();
+
+  const Word Ticket = co_await Ctx.atomicAdd(Counter, 1, SiteCounterAdd);
+  if (Ticket != Ctx.gridDim() - 1)
+    co_return;
+
+  // Last block standing combines every partial.
+  Word Total = 0;
+  for (unsigned B = 0; B != Ctx.gridDim(); ++B)
+    Total += co_await Ctx.ld(Partials + B, SitePartialLd);
+  co_await Ctx.st(Out, Total, SiteOutSt);
+}
+
+class SdkReduction final : public Application {
+public:
+  const char *name() const override { return "sdk-red"; }
+  unsigned numSites() const override { return NumSites; }
+  const char *siteName(unsigned Site) const override {
+    return SiteNames[Site];
+  }
+
+  void setup(sim::Device &Dev, Rng &R) override {
+    In = Dev.alloc(N);
+    Cache = Dev.alloc(GridDim * BlockDim);
+    Partials = Dev.alloc(GridDim);
+    Counter = Dev.alloc(1);
+    Out = Dev.alloc(1);
+    Expected = 0;
+    for (unsigned I = 0; I != N; ++I) {
+      const Word V = static_cast<Word>(R.below(100));
+      Dev.write(In + I, V);
+      Expected += V;
+    }
+  }
+
+  bool run(sim::Device &Dev) override {
+    const Addr InV = In, CacheV = Cache, PartialsV = Partials,
+               CounterV = Counter, OutV = Out;
+    const sim::RunResult Result = Dev.run(
+        {GridDim, BlockDim}, [=](ThreadContext &Ctx) -> Kernel {
+          return reduceKernel(Ctx, InV, CacheV, PartialsV, CounterV, OutV);
+        });
+    return Result.completed();
+  }
+
+  bool checkPostCondition(const sim::Device &Dev) const override {
+    return Dev.read(Out) == Expected;
+  }
+
+private:
+  Addr In = 0, Cache = 0, Partials = 0, Counter = 0, Out = 0;
+  Word Expected = 0;
+};
+
+} // namespace
+
+std::unique_ptr<Application> apps::detail::makeSdkReduction() {
+  return std::make_unique<SdkReduction>();
+}

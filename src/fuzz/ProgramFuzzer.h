@@ -1,0 +1,100 @@
+//===- fuzz/ProgramFuzzer.h - Random-program differential fuzzing -*- C++ -*-===//
+//
+// Part of the gpuwmm project, a reproduction of "Exposing Errors Related to
+// Weak Memory in GPU Applications" (Sorensen & Donaldson, PLDI 2016).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The "fuzzing" half of the paper's title, generalised: generate random
+/// two-thread straight-line programs over a handful of shared variables,
+/// enumerate their sequentially consistent outcomes exhaustively, and
+/// compare against outcomes observed on the weak machine.
+///
+/// Two uses:
+///  * Soundness validation of the memory model: with a fence after every
+///    access, every outcome the weak machine produces must be
+///    SC-reachable (property-tested over hundreds of random programs).
+///  * Weak-behaviour fuzzing: without fences, outcomes outside the SC set
+///    are genuine weak behaviours; the tuned stress should surface more of
+///    them than native execution, on arbitrary programs rather than only
+///    the three hand-picked litmus idioms of Sec. 3.1.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUWMM_FUZZ_PROGRAMFUZZER_H
+#define GPUWMM_FUZZ_PROGRAMFUZZER_H
+
+#include "sim/ChipProfile.h"
+#include "sim/Types.h"
+#include "support/Rng.h"
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace gpuwmm {
+namespace fuzz {
+
+/// One straight-line instruction.
+struct Op {
+  enum class Kind { Store, Load, AtomicAdd, Fence };
+  Kind K = Kind::Load;
+  unsigned Var = 0; ///< Variable index (ignored for Fence).
+  sim::Word Value = 0; ///< Stored/added value (ignored for Load/Fence).
+};
+
+/// A two-thread straight-line program over NumVars shared variables. The
+/// two threads run in distinct blocks, as in the paper's inter-block
+/// focus.
+struct Program {
+  unsigned NumVars = 0;
+  std::vector<Op> Thread[2];
+
+  /// Generates a random program: \p OpsPerThread ops per thread over
+  /// \p NumVars variables. Stores write distinct non-zero values so
+  /// outcomes identify their writers. Fences are included only when
+  /// \p WithFences (used for the soundness property).
+  static Program generate(Rng &R, unsigned NumVars, unsigned OpsPerThread,
+                          bool WithFences);
+
+  /// Inserts a fence after every access (the cons-fence transform).
+  Program fullyFenced() const;
+
+  /// Human-readable listing (for failure reports).
+  std::string str() const;
+};
+
+/// An observable outcome: every load's value in program order for both
+/// threads, followed by the final memory value of every variable.
+using Outcome = std::vector<sim::Word>;
+
+/// Exhaustively enumerates the outcomes of \p P under sequential
+/// consistency (all interleavings of the two threads; fences are no-ops
+/// under SC). The number of interleavings is C(n+m, n) — keep programs
+/// small (<= ~8 ops per thread).
+std::set<Outcome> enumerateScOutcomes(const Program &P);
+
+/// Executes \p P once on the weak machine and returns the outcome.
+/// \p Stressed applies tuned sys-str stress to the run.
+Outcome runOnWeakMachine(const Program &P, const sim::ChipProfile &Chip,
+                         uint64_t Seed, bool Stressed);
+
+/// Result of fuzzing one program for \p Runs executions.
+struct FuzzResult {
+  unsigned Runs = 0;
+  unsigned WeakOutcomes = 0;     ///< Executions outside the SC set.
+  unsigned DistinctWeak = 0;     ///< Distinct non-SC outcomes seen.
+  unsigned DistinctScSeen = 0;   ///< Distinct SC outcomes seen.
+  size_t ScSetSize = 0;
+};
+
+/// Runs \p P repeatedly on the weak machine and classifies outcomes
+/// against the exhaustive SC set.
+FuzzResult fuzzProgram(const Program &P, const sim::ChipProfile &Chip,
+                       unsigned Runs, uint64_t Seed, bool Stressed);
+
+} // namespace fuzz
+} // namespace gpuwmm
+
+#endif // GPUWMM_FUZZ_PROGRAMFUZZER_H

@@ -1,0 +1,111 @@
+//===- harden/FenceInsertion.cpp - Empirical fence insertion ------------------===//
+
+#include "harden/FenceInsertion.h"
+
+#include <cassert>
+#include <chrono>
+
+using namespace gpuwmm;
+using namespace gpuwmm::harden;
+using sim::FencePolicy;
+
+namespace {
+
+/// Removes the sites in \p ToRemove from \p F.
+FencePolicy without(const FencePolicy &F,
+                    const std::vector<unsigned> &ToRemove) {
+  FencePolicy Result = F;
+  for (unsigned S : ToRemove)
+    Result.set(S, false);
+  return Result;
+}
+
+} // namespace
+
+FencePolicy harden::binaryReduction(FencePolicy F, CheckOracle &Oracle,
+                                    unsigned Iterations) {
+  while (F.count() > 1) {
+    // SplitFences: sites sorted by code location; first half vs second.
+    const std::vector<unsigned> Sites = F.sites();
+    const std::vector<unsigned> F1(Sites.begin(),
+                                   Sites.begin() + Sites.size() / 2);
+    const std::vector<unsigned> F2(Sites.begin() + Sites.size() / 2,
+                                   Sites.end());
+    if (Oracle.checkApplication(without(F, F1), Iterations)) {
+      F = without(F, F1);
+      continue;
+    }
+    if (Oracle.checkApplication(without(F, F2), Iterations)) {
+      F = without(F, F2);
+      continue;
+    }
+    // Both halves appear necessary at this granularity.
+    return F;
+  }
+  return F;
+}
+
+FencePolicy harden::linearReduction(FencePolicy F, CheckOracle &Oracle,
+                                    unsigned Iterations) {
+  for (unsigned S : F.sites()) {
+    FencePolicy Candidate = F;
+    Candidate.set(S, false);
+    if (Oracle.checkApplication(Candidate, Iterations))
+      F = Candidate;
+  }
+  return F;
+}
+
+InsertionResult
+harden::empiricalFenceInsertion(const FencePolicy &Initial,
+                                CheckOracle &Oracle,
+                                const InsertionConfig &Config) {
+  const auto Start = std::chrono::steady_clock::now();
+  InsertionResult Result;
+  unsigned Iterations = Config.InitialIterations;
+  FencePolicy Reduced = Initial;
+  for (unsigned Round = 0; Round != Config.MaxRounds; ++Round) {
+    ++Result.Rounds;
+    const FencePolicy Fb = binaryReduction(Initial, Oracle, Iterations);
+    Reduced = linearReduction(Fb, Oracle, Iterations);
+    if (Oracle.empiricallyStable(Reduced)) {
+      Result.Stable = true;
+      break;
+    }
+    // Not stable: restart from the original set with doubled iterations.
+    Iterations *= 2;
+  }
+  Result.Fences = Reduced;
+  Result.WallSeconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
+          .count();
+  return Result;
+}
+
+//===----------------------------------------------------------------------===//
+// AppCheckOracle
+//===----------------------------------------------------------------------===//
+
+AppCheckOracle::AppCheckOracle(apps::AppKind App,
+                               const sim::ChipProfile &Chip, uint64_t Seed,
+                               unsigned StableRuns)
+    : App(App), Chip(Chip), Env{stress::StressKind::Sys, true},
+      Tuned(stress::TunedStressParams::paperDefaults(Chip)), Seed(Seed),
+      StableRuns(StableRuns) {}
+
+bool AppCheckOracle::checkApplication(const FencePolicy &F,
+                                      unsigned Iterations) {
+  for (unsigned I = 0; I != Iterations; ++I) {
+    const uint64_t RunSeed = Seed * 6364136223846793005ULL + Execs;
+    ++Execs;
+    const apps::AppVerdict V =
+        apps::runApplicationOnce(App, Chip, Env, Tuned, &F, RunSeed);
+    if (apps::isErroneous(V))
+      return false;
+  }
+  return true;
+}
+
+bool AppCheckOracle::empiricallyStable(const FencePolicy &F) {
+  return checkApplication(F, StableRuns);
+}

@@ -1,0 +1,104 @@
+//===- harden/FenceInsertion.h - Empirical fence insertion ------*- C++ -*-===//
+//
+// Part of the gpuwmm project, a reproduction of "Exposing Errors Related to
+// Weak Memory in GPU Applications" (Sorensen & Donaldson, PLDI 2016).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's Sec. 5 empirical fence insertion (Alg. 1): starting from a
+/// fence after every memory access, binary and linear reduction remove
+/// fences whose absence the testing environment cannot distinguish from
+/// the fully fenced program, doubling the per-check iteration count until
+/// the reduced set is empirically stable. The result is a minimal set of
+/// fences: removing any single one exposes erroneous behaviour under the
+/// aggressive testing environment.
+///
+/// The algorithm is expressed against an abstract CheckOracle so it can be
+/// unit-tested with deterministic oracles; AppCheckOracle binds it to real
+/// application executions under sys-str+.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUWMM_HARDEN_FENCEINSERTION_H
+#define GPUWMM_HARDEN_FENCEINSERTION_H
+
+#include "apps/Application.h"
+#include "sim/FencePolicy.h"
+
+#include <cstdint>
+
+namespace gpuwmm {
+namespace harden {
+
+/// Oracle abstraction over "CheckApplication" / "EmpiricallyStable" of
+/// Alg. 1.
+class CheckOracle {
+public:
+  virtual ~CheckOracle() = default;
+
+  /// Executes the application with fence set \p F for \p Iterations runs;
+  /// returns true iff no errors were observed.
+  virtual bool checkApplication(const sim::FencePolicy &F,
+                                unsigned Iterations) = 0;
+
+  /// The paper's one-hour stability check (a large fixed run budget here).
+  virtual bool empiricallyStable(const sim::FencePolicy &F) = 0;
+};
+
+/// BINARYREDUCTION of Alg. 1: repeatedly tries to discard half of the
+/// remaining fences (sites sorted by id, first half vs second half).
+sim::FencePolicy binaryReduction(sim::FencePolicy F, CheckOracle &Oracle,
+                                 unsigned Iterations);
+
+/// LINEARREDUCTION of Alg. 1: tries to remove fences one at a time.
+sim::FencePolicy linearReduction(sim::FencePolicy F, CheckOracle &Oracle,
+                                 unsigned Iterations);
+
+/// Result of EMPIRICALFENCEINSERTION.
+struct InsertionResult {
+  sim::FencePolicy Fences;
+  bool Stable = false;      ///< False only if MaxRounds was exhausted.
+  unsigned Rounds = 0;      ///< Reduction rounds (I doublings + 1).
+  uint64_t CheckRuns = 0;   ///< Total application executions consumed.
+  double WallSeconds = 0.0;
+};
+
+struct InsertionConfig {
+  unsigned InitialIterations = 32; ///< The paper's I = 32.
+  unsigned MaxRounds = 6;          ///< Safety bound on the doubling loop.
+};
+
+/// EMPIRICALFENCEINSERTION of Alg. 1.
+InsertionResult empiricalFenceInsertion(const sim::FencePolicy &Initial,
+                                        CheckOracle &Oracle,
+                                        const InsertionConfig &Config = {});
+
+/// Concrete oracle: executes an application case study on a chip under a
+/// testing environment (sys-str+ by default, as in the paper, chosen for
+/// its Sec. 4 effectiveness).
+class AppCheckOracle final : public CheckOracle {
+public:
+  AppCheckOracle(apps::AppKind App, const sim::ChipProfile &Chip,
+                 uint64_t Seed, unsigned StableRuns = 300);
+
+  bool checkApplication(const sim::FencePolicy &F,
+                        unsigned Iterations) override;
+  bool empiricallyStable(const sim::FencePolicy &F) override;
+
+  uint64_t executions() const { return Execs; }
+
+private:
+  apps::AppKind App;
+  const sim::ChipProfile &Chip;
+  stress::Environment Env;
+  stress::TunedStressParams Tuned;
+  uint64_t Seed;
+  unsigned StableRuns;
+  uint64_t Execs = 0;
+};
+
+} // namespace harden
+} // namespace gpuwmm
+
+#endif // GPUWMM_HARDEN_FENCEINSERTION_H

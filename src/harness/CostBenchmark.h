@@ -1,0 +1,45 @@
+//===- harness/CostBenchmark.h - Sec. 6 fence-cost study --------*- C++ -*-===//
+//
+// Part of the gpuwmm project, a reproduction of "Exposing Errors Related to
+// Weak Memory in GPU Applications" (Sorensen & Donaldson, PLDI 2016).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's Sec. 6 cost study: benchmark each application natively
+/// (no testing environment) under three fencing configurations — no
+/// fences, fences found by empirical insertion ("emp"), and a fence after
+/// every access ("cons") — recording runtime and (on chips with power
+/// instrumentation) energy. Runs failing the post-condition are discarded,
+/// as in the paper.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUWMM_HARNESS_COSTBENCHMARK_H
+#define GPUWMM_HARNESS_COSTBENCHMARK_H
+
+#include "apps/Application.h"
+#include "sim/FencePolicy.h"
+
+namespace gpuwmm {
+namespace harness {
+
+/// Averaged cost of one (chip, app, fence-config) combination.
+struct CostMeasurement {
+  double RuntimeMs = 0.0;
+  double EnergyJ = 0.0;
+  bool EnergyValid = false;
+  unsigned RunsUsed = 0;      ///< Runs that passed the post-condition.
+  unsigned RunsDiscarded = 0; ///< Erroneous runs, excluded from averages.
+};
+
+/// Benchmarks \p App natively on \p Chip under fence policy \p Fences,
+/// averaging over \p Runs passing executions.
+CostMeasurement measureCost(apps::AppKind App, const sim::ChipProfile &Chip,
+                            const sim::FencePolicy &Fences, unsigned Runs,
+                            uint64_t Seed);
+
+} // namespace harness
+} // namespace gpuwmm
+
+#endif // GPUWMM_HARNESS_COSTBENCHMARK_H

@@ -1,0 +1,38 @@
+//===- harness/EnvironmentRunner.cpp - Tab. 5 experiment driver --------------===//
+
+#include "harness/EnvironmentRunner.h"
+
+using namespace gpuwmm;
+using namespace gpuwmm::harness;
+
+CellResult harness::runCell(apps::AppKind App, const sim::ChipProfile &Chip,
+                            const stress::Environment &Env,
+                            const stress::TunedStressParams &Tuned,
+                            unsigned Runs, uint64_t Seed) {
+  CellResult Cell;
+  Cell.Runs = Runs;
+  Rng Master(Seed);
+  for (unsigned I = 0; I != Runs; ++I) {
+    const apps::AppVerdict V = apps::runApplicationOnce(
+        App, Chip, Env, Tuned, /*Policy=*/nullptr, Master.fork(I).next());
+    if (apps::isErroneous(V))
+      ++Cell.Errors;
+    if (V == apps::AppVerdict::Timeout)
+      ++Cell.Timeouts;
+  }
+  return Cell;
+}
+
+EnvironmentSummary harness::runEnvironmentSummary(
+    const sim::ChipProfile &Chip, const stress::Environment &Env,
+    const stress::TunedStressParams &Tuned, unsigned Runs, uint64_t Seed) {
+  EnvironmentSummary Summary;
+  for (apps::AppKind App : apps::AllAppKinds) {
+    const CellResult Cell =
+        runCell(App, Chip, Env, Tuned, Runs,
+                Seed * 1315423911u + static_cast<uint64_t>(App));
+    Summary.AppsWithErrors += Cell.observed();
+    Summary.AppsEffective += Cell.effective();
+  }
+  return Summary;
+}

@@ -1,0 +1,73 @@
+//===- harness/EnvironmentRunner.h - Tab. 5 experiment driver ---*- C++ -*-===//
+//
+// Part of the gpuwmm project, a reproduction of "Exposing Errors Related to
+// Weak Memory in GPU Applications" (Sorensen & Donaldson, PLDI 2016).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Drives the paper's Sec. 4 experiment: execute an application repeatedly
+/// under a testing environment and record how often erroneous runs
+/// (post-condition failures, timeouts, faults) occur. An environment is
+/// "effective" for a chip/application pair when errors appear in more than
+/// 5% of executions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUWMM_HARNESS_ENVIRONMENTRUNNER_H
+#define GPUWMM_HARNESS_ENVIRONMENTRUNNER_H
+
+#include "apps/Application.h"
+#include "stress/Environment.h"
+
+namespace gpuwmm {
+namespace harness {
+
+/// Error statistics for one (chip, application, environment) cell.
+struct CellResult {
+  unsigned Runs = 0;
+  unsigned Errors = 0;   ///< All erroneous runs (including timeouts).
+  unsigned Timeouts = 0; ///< Runs that exceeded the tick budget.
+
+  /// Any erroneous run observed?
+  bool observed() const { return Errors > 0; }
+
+  /// The paper's effectiveness threshold: errors in more than 5% of runs.
+  bool effective() const {
+    return Runs != 0 &&
+           static_cast<double>(Errors) > 0.05 * static_cast<double>(Runs);
+  }
+
+  double errorRate() const {
+    return Runs == 0 ? 0.0
+                     : static_cast<double>(Errors) /
+                           static_cast<double>(Runs);
+  }
+};
+
+/// Summary over the ten applications for one (chip, environment) pair, as
+/// presented in Tab. 5's "a/b" cells.
+struct EnvironmentSummary {
+  unsigned AppsWithErrors = 0; ///< b: applications with any erroneous run.
+  unsigned AppsEffective = 0;  ///< a: applications above the 5% threshold.
+};
+
+/// Runs \p Runs executions of one cell. Fences are as shipped: no inserted
+/// fences; built-in fences enabled unless the app is a -nf variant.
+CellResult runCell(apps::AppKind App, const sim::ChipProfile &Chip,
+                   const stress::Environment &Env,
+                   const stress::TunedStressParams &Tuned, unsigned Runs,
+                   uint64_t Seed);
+
+/// Runs a full Tab. 5 row cell: all ten applications for one
+/// (chip, environment) pair.
+EnvironmentSummary
+runEnvironmentSummary(const sim::ChipProfile &Chip,
+                      const stress::Environment &Env,
+                      const stress::TunedStressParams &Tuned, unsigned Runs,
+                      uint64_t Seed);
+
+} // namespace harness
+} // namespace gpuwmm
+
+#endif // GPUWMM_HARNESS_ENVIRONMENTRUNNER_H

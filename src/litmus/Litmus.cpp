@@ -1,0 +1,275 @@
+//===- litmus/Litmus.cpp - GPU litmus tests ----------------------------------===//
+
+#include "litmus/Litmus.h"
+
+#include "sim/Device.h"
+#include "sim/ThreadContext.h"
+#include "stress/StressSources.h"
+
+#include <cassert>
+
+using namespace gpuwmm;
+using namespace gpuwmm::litmus;
+using sim::Addr;
+using sim::Kernel;
+using sim::ThreadContext;
+using sim::Word;
+
+const char *litmus::litmusName(LitmusKind K) {
+  switch (K) {
+  case LitmusKind::MP:
+    return "MP";
+  case LitmusKind::LB:
+    return "LB";
+  case LitmusKind::SB:
+    return "SB";
+  case LitmusKind::R:
+    return "R";
+  case LitmusKind::S:
+    return "S";
+  case LitmusKind::TwoPlusTwoW:
+    return "2+2W";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Start-phase jitter so the two threads overlap at varying offsets, as
+/// occupancy and scheduling noise cause on real hardware.
+constexpr unsigned PhaseJitter = 24;
+
+// --- Message Passing (MP) ---------------------------------------------------
+// T1: x <- 1; y <- 1     T2: r1 <- y; r2 <- x     weak: r1 = 1 && r2 = 0
+
+Kernel mpWriter(ThreadContext &Ctx, Addr X, Addr Y, bool Fenced) {
+  co_await Ctx.yield(1 + static_cast<unsigned>(Ctx.rand(PhaseJitter)));
+  co_await Ctx.st(X, 1);
+  if (Fenced)
+    co_await Ctx.fence();
+  co_await Ctx.st(Y, 1);
+}
+
+Kernel mpReader(ThreadContext &Ctx, Addr X, Addr Y, Addr R0, Addr R1,
+                bool Fenced) {
+  co_await Ctx.yield(1 + static_cast<unsigned>(Ctx.rand(PhaseJitter)));
+  const Word A = co_await Ctx.ld(Y);
+  if (Fenced)
+    co_await Ctx.fence();
+  const Word B = co_await Ctx.ld(X);
+  co_await Ctx.st(R0, A);
+  co_await Ctx.st(R1, B);
+}
+
+// --- Load Buffering (LB) ----------------------------------------------------
+// T1: r1 <- x; y <- 1    T2: r2 <- y; x <- 1      weak: r1 = 1 && r2 = 1
+//
+// The load is issued split-phase: hardware may satisfy it after the
+// program-order-later store has become visible, which is exactly the LB
+// reordering. A fence forces completion before the store.
+
+Kernel lbThread(ThreadContext &Ctx, Addr LoadFrom, Addr StoreTo, Addr ROut,
+                bool Fenced) {
+  co_await Ctx.yield(1 + static_cast<unsigned>(Ctx.rand(PhaseJitter)));
+  const Word Ticket = co_await Ctx.ldAsync(LoadFrom);
+  if (Fenced)
+    co_await Ctx.fence();
+  co_await Ctx.st(StoreTo, 1);
+  const Word V = co_await Ctx.awaitLoad(Ticket);
+  co_await Ctx.st(ROut, V);
+}
+
+// --- Store Buffering (SB) ---------------------------------------------------
+// T1: x <- 1; r1 <- y    T2: y <- 1; r2 <- x      weak: r1 = 0 && r2 = 0
+
+Kernel sbThread(ThreadContext &Ctx, Addr StoreTo, Addr LoadFrom, Addr ROut,
+                bool Fenced) {
+  co_await Ctx.yield(1 + static_cast<unsigned>(Ctx.rand(PhaseJitter)));
+  co_await Ctx.st(StoreTo, 1);
+  if (Fenced)
+    co_await Ctx.fence();
+  const Word V = co_await Ctx.ld(LoadFrom);
+  co_await Ctx.st(ROut, V);
+}
+
+// --- R ----------------------------------------------------------------------
+// T1: x <- 1; y <- 1    T2: y <- 2; r1 <- x
+// weak: y = 2 (final) && r1 = 0
+// (T2's write to y coherence-wins, yet T2 did not see T1's earlier x.)
+
+Kernel rWriter(ThreadContext &Ctx, Addr X, Addr Y, bool Fenced) {
+  co_await Ctx.yield(1 + static_cast<unsigned>(Ctx.rand(PhaseJitter)));
+  co_await Ctx.st(X, 1);
+  if (Fenced)
+    co_await Ctx.fence();
+  co_await Ctx.st(Y, 1);
+}
+
+Kernel rReader(ThreadContext &Ctx, Addr X, Addr Y, Addr ROut, bool Fenced) {
+  co_await Ctx.yield(1 + static_cast<unsigned>(Ctx.rand(PhaseJitter)));
+  co_await Ctx.st(Y, 2);
+  if (Fenced)
+    co_await Ctx.fence();
+  const Word V = co_await Ctx.ld(X);
+  co_await Ctx.st(ROut, V);
+}
+
+// --- S ----------------------------------------------------------------------
+// T1: x <- 2; y <- 1    T2: r1 <- y; x <- 1
+// weak: r1 = 1 && x = 2 (final)
+// Forbidden by this model's issue-ordered per-location coherence.
+
+Kernel sWriter(ThreadContext &Ctx, Addr X, Addr Y, bool Fenced) {
+  co_await Ctx.yield(1 + static_cast<unsigned>(Ctx.rand(PhaseJitter)));
+  co_await Ctx.st(X, 2);
+  if (Fenced)
+    co_await Ctx.fence();
+  co_await Ctx.st(Y, 1);
+}
+
+Kernel sReader(ThreadContext &Ctx, Addr X, Addr Y, Addr ROut, bool Fenced) {
+  co_await Ctx.yield(1 + static_cast<unsigned>(Ctx.rand(PhaseJitter)));
+  const Word V = co_await Ctx.ld(Y);
+  if (Fenced)
+    co_await Ctx.fence();
+  co_await Ctx.st(X, 1);
+  co_await Ctx.st(ROut, V);
+}
+
+// --- 2+2W -------------------------------------------------------------------
+// T1: x <- 1; y <- 2    T2: y <- 1; x <- 2
+// weak: x = 1 && y = 1 (finals; both first writes coherence-last)
+// Forbidden by this model's issue-ordered per-location coherence.
+
+Kernel twoPlusTwoW(ThreadContext &Ctx, Addr First, Addr Second,
+                   bool Fenced) {
+  co_await Ctx.yield(1 + static_cast<unsigned>(Ctx.rand(PhaseJitter)));
+  co_await Ctx.st(First, 1);
+  if (Fenced)
+    co_await Ctx.fence();
+  co_await Ctx.st(Second, 2);
+}
+
+} // namespace
+
+bool LitmusRunner::runOnce(const LitmusInstance &T, const MicroStress &S,
+                           const RunOpts &Opts) {
+  Rng RunRng = Master.fork(Execs);
+  ++Execs;
+
+  sim::Device Dev(Chip, RunRng.next());
+  Dev.setSequentialMode(Opts.Sequential);
+  Dev.setRandomiseThreads(Opts.Randomise);
+
+  // x and y live in one allocation, delta words apart (T_d).
+  const unsigned Delta = T.addressDelta();
+  const Addr X = Dev.alloc(Delta + 1);
+  const Addr Y = X + Delta;
+  const Addr Results = Dev.alloc(2);
+
+  // Scratchpad and stress; the scratchpad is a real allocation so stressed
+  // locations occupy genuine banks downstream of x and y in the address
+  // space (the paper cannot control this distance either and designs the
+  // stress not to depend on it).
+  std::unique_ptr<stress::SysStress> Stress;
+  if (S.Enabled) {
+    assert(!S.ScratchOffsets.empty() && "stress without locations");
+    unsigned MaxOff = 0;
+    for (unsigned Off : S.ScratchOffsets)
+      MaxOff = std::max(MaxOff, Off);
+    const Addr Scratch = Dev.alloc(MaxOff + Chip.PatchSizeWords);
+    std::vector<Addr> Locs;
+    Locs.reserve(S.ScratchOffsets.size());
+    for (unsigned Off : S.ScratchOffsets)
+      Locs.push_back(Scratch + Off);
+    const unsigned MaxThreads = Chip.maxConcurrentThreads();
+    const unsigned StressThreads = static_cast<unsigned>(
+        RunRng.realIn(S.OccupancyLo, S.OccupancyHi) *
+        static_cast<double>(MaxThreads));
+    Stress = std::make_unique<stress::SysStress>(
+        Chip, S.Seq, std::move(Locs),
+        stress::threadUnits(Chip, StressThreads));
+    Dev.setCongestionSource(Stress.get());
+  }
+
+  const bool Fenced = Opts.WithFences;
+  sim::KernelFn Fn;
+  switch (T.Kind) {
+  case LitmusKind::MP:
+    Fn = [=](ThreadContext &Ctx) -> Kernel {
+      if (Ctx.blockIdx() == 0)
+        return mpWriter(Ctx, X, Y, Fenced);
+      return mpReader(Ctx, X, Y, Results, Results + 1, Fenced);
+    };
+    break;
+  case LitmusKind::LB:
+    Fn = [=](ThreadContext &Ctx) -> Kernel {
+      if (Ctx.blockIdx() == 0)
+        return lbThread(Ctx, X, Y, Results, Fenced);
+      return lbThread(Ctx, Y, X, Results + 1, Fenced);
+    };
+    break;
+  case LitmusKind::SB:
+    Fn = [=](ThreadContext &Ctx) -> Kernel {
+      if (Ctx.blockIdx() == 0)
+        return sbThread(Ctx, X, Y, Results, Fenced);
+      return sbThread(Ctx, Y, X, Results + 1, Fenced);
+    };
+    break;
+  case LitmusKind::R:
+    Fn = [=](ThreadContext &Ctx) -> Kernel {
+      if (Ctx.blockIdx() == 0)
+        return rWriter(Ctx, X, Y, Fenced);
+      return rReader(Ctx, X, Y, Results, Fenced);
+    };
+    break;
+  case LitmusKind::S:
+    Fn = [=](ThreadContext &Ctx) -> Kernel {
+      if (Ctx.blockIdx() == 0)
+        return sWriter(Ctx, X, Y, Fenced);
+      return sReader(Ctx, X, Y, Results, Fenced);
+    };
+    break;
+  case LitmusKind::TwoPlusTwoW:
+    Fn = [=](ThreadContext &Ctx) -> Kernel {
+      if (Ctx.blockIdx() == 0)
+        return twoPlusTwoW(Ctx, X, Y, Fenced);
+      return twoPlusTwoW(Ctx, Y, X, Fenced);
+    };
+    break;
+  }
+
+  const sim::RunResult Result =
+      Dev.run({/*GridDim=*/2, /*BlockDim=*/1}, Fn);
+  assert(Result.completed() && "litmus execution must terminate");
+  (void)Result;
+
+  const Word R0 = Dev.read(Results);
+  const Word R1 = Dev.read(Results + 1);
+  const Word FinalX = Dev.read(X);
+  const Word FinalY = Dev.read(Y);
+  switch (T.Kind) {
+  case LitmusKind::MP:
+    return R0 == 1 && R1 == 0;
+  case LitmusKind::LB:
+    return R0 == 1 && R1 == 1;
+  case LitmusKind::SB:
+    return R0 == 0 && R1 == 0;
+  case LitmusKind::R:
+    return FinalY == 2 && R0 == 0;
+  case LitmusKind::S:
+    return R0 == 1 && FinalX == 2;
+  case LitmusKind::TwoPlusTwoW:
+    return FinalX == 1 && FinalY == 1;
+  }
+  return false;
+}
+
+unsigned LitmusRunner::countWeak(const LitmusInstance &T,
+                                 const MicroStress &S, unsigned C,
+                                 const RunOpts &Opts) {
+  unsigned Weak = 0;
+  for (unsigned I = 0; I != C; ++I)
+    Weak += runOnce(T, S, Opts);
+  return Weak;
+}

@@ -1,0 +1,103 @@
+//===- sim/ChipProfile.h - Per-GPU model parameters -------------*- C++ -*-===//
+//
+// Part of the gpuwmm project, a reproduction of "Exposing Errors Related to
+// Weak Memory in GPU Applications" (Sorensen & Donaldson, PLDI 2016).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parameter sets modelling the seven Nvidia GPUs of the paper's Tab. 1.
+///
+/// The paper ran on physical GTX 980, Quadro K5200, GTX Titan, Tesla K20,
+/// GTX 770, Tesla C2075 and Tesla C2050 devices. This reproduction replaces
+/// each with a parameterised weak-memory simulator profile. The parameters
+/// encode per-architecture microarchitectural characteristics (natural
+/// "patch" granularity, store-drain behaviour, congestion sensitivity,
+/// clock and power) so that the paper's tuning pipeline *discovers* the
+/// per-chip results of Tab. 2 rather than having them hard-coded.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUWMM_SIM_CHIPPROFILE_H
+#define GPUWMM_SIM_CHIPPROFILE_H
+
+#include <cstddef>
+#include <string_view>
+
+namespace gpuwmm {
+namespace sim {
+
+/// GPU architecture generations studied in the paper.
+enum class GpuArch { Fermi, Kepler, Maxwell };
+
+/// Returns a printable name for \p Arch.
+const char *archName(GpuArch Arch);
+
+/// Model parameters for one simulated GPU.
+///
+/// Memory-model parameters (see DESIGN.md Sec. 3):
+///  * Addresses map to banks at PatchSizeWords granularity; stores to the
+///    same bank drain in FIFO order, banks drain independently.
+///  * A per-thread, per-bank store FIFO gets one probabilistic drain
+///    opportunity per scheduler tick: the uncongested per-tick drain
+///    probability is DrainBase, degraded by bank congestion down to
+///    DrainFloor.
+///  * Split-phase (async) loads complete per tick with probability
+///    AsyncBase, degraded by read-side congestion down to AsyncFloor.
+struct ChipProfile {
+  const char *Name;      ///< Full marketing name, e.g. "GTX Titan".
+  const char *ShortName; ///< Paper's short name, e.g. "titan".
+  GpuArch Arch;
+  int ReleaseYear;
+
+  // --- Geometry -----------------------------------------------------------
+  unsigned PatchSizeWords; ///< Natural patch size (words): 32 Kepler, 64 else.
+  unsigned NumBanks;       ///< Independent drain channels.
+  unsigned NumSMs;
+  unsigned MaxThreadsPerSM;
+
+  // --- Weak-memory timing ---------------------------------------------------
+  double DrainBase;  ///< Per-tick store-drain probability, uncongested.
+  double DrainFloor; ///< Lower bound under congestion.
+  double AsyncBase;  ///< Per-tick async-load completion probability.
+  double AsyncFloor; ///< Lower bound under congestion.
+
+  // --- Congestion response --------------------------------------------------
+  double Sensitivity;     ///< Scales incoming stress pressure.
+  double PressureThresh;  ///< Pressure below this has no effect.
+  double PressureCap;     ///< Saturation of effective pressure.
+  double DrainCongestK;   ///< Drain slowdown per unit effective pressure.
+  double AsyncCongestK;   ///< Async-load slowdown per unit effective pressure.
+  double BaselineReorder; ///< Chip quirk: stress-independent extra drain
+                          ///< stall probability (nonzero on Maxwell, which
+                          ///< shows weak behaviour even unstressed; Fig. 3c).
+
+  // --- Fence/atomic latency (ticks) ----------------------------------------
+  unsigned FenceBaseLatency;  ///< Fixed device-fence round-trip.
+  unsigned AtomicLatency;     ///< L2 round-trip for atomics.
+
+  // --- Clock & power model --------------------------------------------------
+  double ClockGHz;
+  double BoardPowerW;        ///< Average board power while busy.
+  double IdlePowerW;
+  bool SupportsPowerQuery;   ///< Paper: only K5200/Titan/K20/C2075 do (NVML).
+
+  unsigned maxConcurrentThreads() const { return NumSMs * MaxThreadsPerSM; }
+
+  /// Returns the bank for word address \p A.
+  unsigned bankOf(unsigned A) const {
+    return (A / PatchSizeWords) % NumBanks;
+  }
+
+  /// Returns the profile registered under \p ShortName ("980", "k5200",
+  /// "titan", "k20", "770", "c2075", "c2050"), or nullptr.
+  static const ChipProfile *lookup(std::string_view ShortName);
+
+  /// Returns all seven profiles, newest first (paper Tab. 1 order).
+  static const ChipProfile *all(size_t &Count);
+};
+
+} // namespace sim
+} // namespace gpuwmm
+
+#endif // GPUWMM_SIM_CHIPPROFILE_H

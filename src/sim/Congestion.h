@@ -1,0 +1,62 @@
+//===- sim/Congestion.h - Bank congestion interface -------------*- C++ -*-===//
+//
+// Part of the gpuwmm project, a reproduction of "Exposing Errors Related to
+// Weak Memory in GPU Applications" (Sorensen & Donaldson, PLDI 2016).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The interface through which a memory-stressing strategy injects
+/// contention into the simulated memory system.
+///
+/// In the paper, stressing threads hammer a scratchpad that is completely
+/// disjoint from application data; the only coupling with the application is
+/// microarchitectural contention. We model that contention directly: a
+/// CongestionSource reports per-bank write/read pressure each tick, and the
+/// memory system degrades store-drain and async-load-completion
+/// probabilities accordingly. Because stressing threads never touch shared
+/// data, this analytic treatment does not change the set of possible
+/// application behaviours — exactly the property the paper's design relies
+/// on (Sec. 3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUWMM_SIM_CONGESTION_H
+#define GPUWMM_SIM_CONGESTION_H
+
+#include <cstdint>
+
+namespace gpuwmm {
+namespace sim {
+
+/// Pressure applied to one bank during one tick.
+struct BankPressure {
+  double Write = 0.0; ///< Store traffic (congests the drain path).
+  double Read = 0.0;  ///< Load traffic (congests load completion).
+
+  BankPressure &operator+=(const BankPressure &O) {
+    Write += O.Write;
+    Read += O.Read;
+    return *this;
+  }
+};
+
+/// Supplies per-bank contention; implemented by the stressing strategies.
+class CongestionSource {
+public:
+  virtual ~CongestionSource() = default;
+
+  /// Returns the pressure on \p Bank at \p Tick.
+  virtual BankPressure pressureAt(uint64_t Tick, unsigned Bank) const = 0;
+};
+
+/// The trivial source: no stress at all (the paper's "no-str").
+class NoCongestion final : public CongestionSource {
+public:
+  BankPressure pressureAt(uint64_t, unsigned) const override { return {}; }
+};
+
+} // namespace sim
+} // namespace gpuwmm
+
+#endif // GPUWMM_SIM_CONGESTION_H

@@ -1,0 +1,87 @@
+//===- sim/Kernel.h - Coroutine kernel type ---------------------*- C++ -*-===//
+//
+// Part of the gpuwmm project, a reproduction of "Exposing Errors Related to
+// Weak Memory in GPU Applications" (Sorensen & Donaldson, PLDI 2016).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The coroutine type used to express simulated GPU kernels.
+///
+/// Every simulated thread runs one Kernel coroutine. Each memory operation
+/// (via ThreadContext) suspends the coroutine back into the scheduler, so
+/// instruction interleaving is fully under simulator control.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUWMM_SIM_KERNEL_H
+#define GPUWMM_SIM_KERNEL_H
+
+#include <coroutine>
+#include <exception>
+#include <functional>
+#include <utility>
+
+namespace gpuwmm {
+namespace sim {
+
+class ThreadContext;
+
+/// An owning handle for one simulated GPU thread's coroutine.
+///
+/// Kernels are written as:
+/// \code
+///   sim::Kernel myKernel(sim::ThreadContext &Ctx, ...captures...) {
+///     Word V = co_await Ctx.ld(Address);
+///     co_await Ctx.st(Address, V + 1);
+///   }
+/// \endcode
+class Kernel {
+public:
+  struct promise_type {
+    Kernel get_return_object() {
+      return Kernel(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    std::suspend_always final_suspend() noexcept { return {}; }
+    void return_void() noexcept {}
+    void unhandled_exception() { std::terminate(); }
+  };
+
+  Kernel() = default;
+  explicit Kernel(std::coroutine_handle<promise_type> H) : Handle(H) {}
+  Kernel(Kernel &&O) noexcept : Handle(std::exchange(O.Handle, nullptr)) {}
+  Kernel &operator=(Kernel &&O) noexcept {
+    if (this != &O) {
+      destroy();
+      Handle = std::exchange(O.Handle, nullptr);
+    }
+    return *this;
+  }
+  Kernel(const Kernel &) = delete;
+  Kernel &operator=(const Kernel &) = delete;
+  ~Kernel() { destroy(); }
+
+  bool valid() const { return Handle != nullptr; }
+  bool done() const { return Handle.done(); }
+  void resume() { Handle.resume(); }
+
+private:
+  void destroy() {
+    if (Handle) {
+      Handle.destroy();
+      Handle = nullptr;
+    }
+  }
+
+  std::coroutine_handle<promise_type> Handle;
+};
+
+/// Factory invoked once per simulated thread to create its kernel
+/// coroutine. Captures application state by reference or pointer.
+using KernelFn = std::function<Kernel(ThreadContext &)>;
+
+} // namespace sim
+} // namespace gpuwmm
+
+#endif // GPUWMM_SIM_KERNEL_H

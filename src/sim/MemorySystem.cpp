@@ -1,0 +1,446 @@
+//===- sim/MemorySystem.cpp - Weak GPU memory model -------------------------===//
+
+#include "sim/MemorySystem.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace gpuwmm;
+using namespace gpuwmm::sim;
+
+MemorySystem::MemorySystem(const ChipProfile &Chip, Rng &R)
+    : Chip(Chip), R(R) {
+  PressureCache.resize(Chip.NumBanks);
+  PressureCacheTick.assign(Chip.NumBanks, ~0ULL);
+}
+
+void MemorySystem::registerThreads(unsigned NumThreads) {
+  Buffers.resize(NumThreads);
+}
+
+Addr MemorySystem::alloc(unsigned Words) {
+  assert(Words > 0 && "cannot allocate zero words");
+  // Align to the patch size, as real allocators align to large boundaries;
+  // this makes bank mappings stable across runs (cf. Fig. 3's per-location
+  // structure).
+  const unsigned P = Chip.PatchSizeWords;
+  NextFree = (NextFree + P - 1) / P * P;
+  const Addr Base = NextFree;
+  NextFree += Words;
+  if (Mem.size() < NextFree) {
+    Mem.resize(NextFree, 0);
+    MemWriteId.resize(NextFree, 0);
+  }
+  return Base;
+}
+
+//===----------------------------------------------------------------------===//
+// Visibility helpers
+//===----------------------------------------------------------------------===//
+
+Word MemorySystem::visibleRead(unsigned Block, Addr A) const {
+  assert(A < Mem.size() && "address out of bounds");
+  if (!Overlay.empty()) {
+    auto Range = Overlay.equal_range(A);
+    for (auto It = Range.first; It != Range.second; ++It)
+      if (It->second.Block == Block)
+        return It->second.V;
+  }
+  return Mem[A];
+}
+
+void MemorySystem::atomicWrite(Addr A, Word V) {
+  assert(A < Mem.size() && "address out of bounds");
+  Mem[A] = V;
+  if (!Overlay.empty())
+    Overlay.erase(A);
+}
+
+void MemorySystem::globalWrite(Addr A, Word V, uint64_t StoreId) {
+  assert(A < Mem.size() && "address out of bounds");
+  // Per-location coherence: never step backwards in the store order.
+  if (StoreId < MemWriteId[A])
+    return;
+  Mem[A] = V;
+  MemWriteId[A] = StoreId;
+  if (!Overlay.empty())
+    Overlay.erase(A);
+}
+
+//===----------------------------------------------------------------------===//
+// Stores and loads
+//===----------------------------------------------------------------------===//
+
+void MemorySystem::store(unsigned Tid, unsigned Block, Addr A, Word V) {
+  ++Stats.Stores;
+  if (SeqMode) {
+    globalWrite(A, V, NextStoreId++);
+    return;
+  }
+  const unsigned Bank = bankOf(A);
+  // Same-bank issue order: a pending async load on this bank must complete
+  // (bind its value) before a later store can drain past it.
+  completeThreadAsyncOnBank(Tid, Bank);
+
+  assert(Tid < Buffers.size() && "thread not registered");
+  ThreadBuffers &TB = Buffers[Tid];
+  if (TB.Banks.empty())
+    TB.Banks.resize(Chip.NumBanks);
+  BankQueue &Q = TB.Banks[Bank];
+  Q.Entries.push_back({A, V, NextStoreId++, Block, false});
+  if (!Q.Active) {
+    Q.Active = true;
+    ActiveQueues.emplace_back(Tid, Bank);
+  }
+}
+
+Word MemorySystem::load(unsigned Tid, unsigned Block, Addr A) {
+  ++Stats.Loads;
+  if (SeqMode)
+    return visibleRead(Block, A);
+
+  const unsigned Bank = bankOf(A);
+  assert(Tid < Buffers.size() && "thread not registered");
+  ThreadBuffers &TB = Buffers[Tid];
+  if (!TB.Banks.empty()) {
+    BankQueue &Q = TB.Banks[Bank];
+    if (!Q.Entries.empty()) {
+      // Forward from the newest buffered store to this exact address —
+      // unless a store ordered after ours (a block-visible store published
+      // at a barrier, or a write that already reached global memory)
+      // supersedes it. Per-location coherence forbids reading backwards.
+      for (auto It = Q.Entries.rbegin(); It != Q.Entries.rend(); ++It) {
+        if (It->A != A)
+          continue;
+        if (!Overlay.empty()) {
+          auto Range = Overlay.equal_range(A);
+          for (auto OIt = Range.first; OIt != Range.second; ++OIt)
+            if (OIt->second.Block == Block &&
+                OIt->second.StoreId > It->StoreId)
+              return OIt->second.V;
+        }
+        if (MemWriteId[A] > It->StoreId)
+          return Mem[A];
+        return It->V;
+      }
+      // Same-bank, different address: self-coherence forces a drain.
+      selfDrainBank(Tid, Bank);
+    }
+  }
+  return visibleRead(Block, A);
+}
+
+void MemorySystem::selfDrainBank(unsigned Tid, unsigned Bank) {
+  ThreadBuffers &TB = Buffers[Tid];
+  if (TB.Banks.empty())
+    return;
+  BankQueue &Q = TB.Banks[Bank];
+  if (Q.Entries.empty())
+    return;
+  ++Stats.ForcedSelfDrains;
+  drainQueue(Tid, Bank, /*Forced=*/true);
+}
+
+void MemorySystem::applyStore(const BufferedStore &E) {
+  if (E.BlockVisible && !Overlay.empty()) {
+    // Remove only the overlay value this entry created; a newer
+    // block-visible value for the same address must survive, and other
+    // blocks' overlay values are unrelated.
+    auto Range = Overlay.equal_range(E.A);
+    for (auto It = Range.first; It != Range.second; ++It) {
+      if (It->second.StoreId == E.StoreId) {
+        Overlay.erase(It);
+        break;
+      }
+    }
+    if (E.StoreId >= MemWriteId[E.A]) {
+      Mem[E.A] = E.V;
+      MemWriteId[E.A] = E.StoreId;
+    }
+  } else {
+    globalWrite(E.A, E.V, E.StoreId);
+  }
+  ++Stats.DrainedStores;
+}
+
+void MemorySystem::drainQueue(unsigned Tid, unsigned Bank, bool Forced) {
+  (void)Forced;
+  BankQueue &Q = Buffers[Tid].Banks[Bank];
+  while (!Q.Entries.empty()) {
+    applyStore(Q.Entries.front());
+    Q.Entries.pop_front();
+  }
+  // Deactivation from ActiveQueues happens lazily in tick().
+}
+
+//===----------------------------------------------------------------------===//
+// Atomics
+//===----------------------------------------------------------------------===//
+
+Word MemorySystem::atomicCAS(unsigned Tid, Addr A, Word Compare, Word Value) {
+  ++Stats.Atomics;
+  if (!SeqMode) {
+    const unsigned Bank = bankOf(A);
+    completeThreadAsyncOnBank(Tid, Bank);
+    selfDrainBank(Tid, Bank);
+  }
+  const Word Old = Mem[A];
+  if (Old == Compare)
+    atomicWrite(A, Value);
+  return Old;
+}
+
+Word MemorySystem::atomicExch(unsigned Tid, Addr A, Word Value) {
+  ++Stats.Atomics;
+  if (!SeqMode) {
+    const unsigned Bank = bankOf(A);
+    completeThreadAsyncOnBank(Tid, Bank);
+    selfDrainBank(Tid, Bank);
+  }
+  const Word Old = Mem[A];
+  atomicWrite(A, Value);
+  return Old;
+}
+
+Word MemorySystem::atomicAdd(unsigned Tid, Addr A, Word Value) {
+  ++Stats.Atomics;
+  if (!SeqMode) {
+    const unsigned Bank = bankOf(A);
+    completeThreadAsyncOnBank(Tid, Bank);
+    selfDrainBank(Tid, Bank);
+  }
+  const Word Old = Mem[A];
+  atomicWrite(A, Old + Value);
+  return Old;
+}
+
+//===----------------------------------------------------------------------===//
+// Fences
+//===----------------------------------------------------------------------===//
+
+unsigned MemorySystem::fenceDevice(unsigned Tid) {
+  ++Stats.DeviceFences;
+  if (SeqMode)
+    return 1;
+
+  unsigned Latency = Chip.FenceBaseLatency;
+  // Complete this thread's pending async loads: a fence orders loads too.
+  for (AsyncLoadSlot &Slot : AsyncSlots)
+    if (!Slot.Done && Slot.Tid == Tid)
+      completeAsync(Slot);
+
+  if (Tid < Buffers.size() && !Buffers[Tid].Banks.empty()) {
+    for (unsigned Bank = 0; Bank != Chip.NumBanks; ++Bank) {
+      BankQueue &Q = Buffers[Tid].Banks[Bank];
+      if (Q.Entries.empty())
+        continue;
+      Latency += static_cast<unsigned>(Q.Entries.size());
+      // Writing back through a congested bank stalls the fence further.
+      Latency += static_cast<unsigned>(
+          effectiveWritePressure(CurrentTick, Bank));
+      drainQueue(Tid, Bank, /*Forced=*/true);
+    }
+  }
+  return Latency;
+}
+
+unsigned MemorySystem::fenceBlock(unsigned Tid, unsigned Block) {
+  ++Stats.BlockFences;
+  if (SeqMode)
+    return 1;
+
+  // Complete pending async loads (fence orders loads at block scope too;
+  // completion binds against global memory either way).
+  for (AsyncLoadSlot &Slot : AsyncSlots)
+    if (!Slot.Done && Slot.Tid == Tid)
+      completeAsync(Slot);
+
+  if (Tid >= Buffers.size() || Buffers[Tid].Banks.empty())
+    return 2;
+  for (unsigned Bank = 0; Bank != Chip.NumBanks; ++Bank) {
+    BankQueue &Q = Buffers[Tid].Banks[Bank];
+    for (BufferedStore &E : Q.Entries) {
+      if (E.BlockVisible)
+        continue;
+      E.BlockVisible = true;
+      assert(E.Block == Block && "store buffered under a different block");
+      // Publish (or refresh) the block-visible value for this address.
+      auto Range = Overlay.equal_range(E.A);
+      bool Updated = false;
+      for (auto It = Range.first; It != Range.second; ++It) {
+        if (It->second.Block == Block) {
+          if (It->second.StoreId < E.StoreId) {
+            It->second.V = E.V;
+            It->second.StoreId = E.StoreId;
+          }
+          Updated = true;
+          break;
+        }
+      }
+      if (!Updated)
+        Overlay.emplace(E.A, OverlayValue{Block, E.V, E.StoreId});
+    }
+  }
+  return 2;
+}
+
+//===----------------------------------------------------------------------===//
+// Async loads
+//===----------------------------------------------------------------------===//
+
+unsigned MemorySystem::issueAsyncLoad(unsigned Tid, Addr A) {
+  ++Stats.AsyncLoads;
+  AsyncLoadSlot Slot;
+  Slot.Tid = Tid;
+  Slot.A = A;
+  if (SeqMode) {
+    Slot.V = visibleRead(/*Block=*/0, A);
+    Slot.Done = true;
+  } else {
+    ++PendingAsyncCount;
+  }
+  AsyncSlots.push_back(Slot);
+  return static_cast<unsigned>(AsyncSlots.size() - 1);
+}
+
+bool MemorySystem::asyncDone(unsigned Ticket) const {
+  assert(Ticket < AsyncSlots.size() && "bad async ticket");
+  return AsyncSlots[Ticket].Done;
+}
+
+Word MemorySystem::asyncValue(unsigned Ticket) const {
+  assert(Ticket < AsyncSlots.size() && "bad async ticket");
+  assert(AsyncSlots[Ticket].Done && "async load not complete");
+  return AsyncSlots[Ticket].V;
+}
+
+void MemorySystem::completeAsync(AsyncLoadSlot &Slot) {
+  assert(!Slot.Done && "async load already complete");
+  // Async loads read globally visible state; they are used by the litmus
+  // harness where threads are in distinct blocks, so block overlays do not
+  // apply (asserted by the no-self-store rule in issueAsyncLoad's contract).
+  Slot.V = Mem[Slot.A];
+  Slot.Done = true;
+  assert(PendingAsyncCount > 0);
+  --PendingAsyncCount;
+}
+
+void MemorySystem::completeThreadAsyncOnBank(unsigned Tid, unsigned Bank) {
+  if (PendingAsyncCount == 0)
+    return;
+  for (AsyncLoadSlot &Slot : AsyncSlots)
+    if (!Slot.Done && Slot.Tid == Tid && bankOf(Slot.A) == Bank)
+      completeAsync(Slot);
+}
+
+//===----------------------------------------------------------------------===//
+// Tick processing
+//===----------------------------------------------------------------------===//
+
+const BankPressure &MemorySystem::pressure(uint64_t Now, unsigned Bank) {
+  if (PressureCacheTick[Bank] != Now) {
+    PressureCacheTick[Bank] = Now;
+    PressureCache[Bank] =
+        Stress ? Stress->pressureAt(Now, Bank) : BankPressure{};
+  }
+  return PressureCache[Bank];
+}
+
+double MemorySystem::effectiveWritePressure(uint64_t Now, unsigned Bank) {
+  const BankPressure &P = pressure(Now, Bank);
+  const double Raw = Chip.Sensitivity * (P.Write + 0.75 * P.Read);
+  return std::clamp(Raw - Chip.PressureThresh, 0.0, Chip.PressureCap);
+}
+
+double MemorySystem::drainProb(uint64_t Now, unsigned Bank) {
+  const double Eff = effectiveWritePressure(Now, Bank);
+  return std::max(Chip.DrainFloor,
+                  Chip.DrainBase / (1.0 + Chip.DrainCongestK * Eff));
+}
+
+double MemorySystem::asyncProb(uint64_t Now, unsigned Bank) {
+  const BankPressure &P = pressure(Now, Bank);
+  const double Raw = Chip.Sensitivity * (P.Read + 0.50 * P.Write);
+  const double Eff = std::clamp(Raw - Chip.PressureThresh, 0.0,
+                                Chip.PressureCap);
+  return std::max(Chip.AsyncFloor,
+                  Chip.AsyncBase / (1.0 + Chip.AsyncCongestK * Eff));
+}
+
+void MemorySystem::tick(uint64_t Now) {
+  CurrentTick = Now;
+  if (SeqMode)
+    return;
+
+  // Async-load completion opportunities.
+  if (PendingAsyncCount != 0) {
+    for (AsyncLoadSlot &Slot : AsyncSlots) {
+      if (Slot.Done)
+        continue;
+      if (R.chance(asyncProb(Now, bankOf(Slot.A))))
+        completeAsync(Slot);
+    }
+  }
+
+  // Store-drain opportunities: one entry per active queue per tick.
+  for (size_t I = 0; I != ActiveQueues.size();) {
+    const auto [Tid, Bank] = ActiveQueues[I];
+    BankQueue &Q = Buffers[Tid].Banks[Bank];
+    if (Q.Entries.empty()) {
+      Q.Active = false;
+      ActiveQueues[I] = ActiveQueues.back();
+      ActiveQueues.pop_back();
+      continue;
+    }
+    if (Q.StallUntil <= Now) {
+      // Maxwell quirk: occasional long stalls independent of stress.
+      if (Chip.BaselineReorder > 0.0 && R.chance(Chip.BaselineReorder)) {
+        // Short stalls: enough to widen litmus windows (Fig. 3c's 980
+        // noise) without breaking application hand-offs natively.
+        Q.StallUntil = Now + 2 + R.below(3);
+      } else if (R.chance(drainProb(Now, Bank))) {
+        applyStore(Q.Entries.front());
+        Q.Entries.pop_front();
+        if (Q.Entries.empty()) {
+          Q.Active = false;
+          ActiveQueues[I] = ActiveQueues.back();
+          ActiveQueues.pop_back();
+          continue;
+        }
+      }
+    }
+    ++I;
+  }
+}
+
+void MemorySystem::drainThread(unsigned Tid) {
+  if (Tid >= Buffers.size() || Buffers[Tid].Banks.empty())
+    return;
+  for (unsigned Bank = 0; Bank != Chip.NumBanks; ++Bank)
+    if (!Buffers[Tid].Banks[Bank].Entries.empty())
+      drainQueue(Tid, Bank, /*Forced=*/true);
+  for (AsyncLoadSlot &Slot : AsyncSlots)
+    if (!Slot.Done && Slot.Tid == Tid)
+      completeAsync(Slot);
+}
+
+void MemorySystem::drainAll() {
+  for (unsigned Tid = 0; Tid != Buffers.size(); ++Tid)
+    drainThread(Tid);
+  ActiveQueues.clear();
+  for (auto &TB : Buffers)
+    for (auto &Q : TB.Banks)
+      Q.Active = false;
+  assert(Overlay.empty() && "overlay must be empty after a full drain");
+}
+
+Word MemorySystem::hostRead(Addr A) const {
+  assert(A < Mem.size() && "address out of bounds");
+  return Mem[A];
+}
+
+void MemorySystem::hostWrite(Addr A, Word V) {
+  assert(A < Mem.size() && "address out of bounds");
+  Mem[A] = V;
+  MemWriteId[A] = NextStoreId++;
+}

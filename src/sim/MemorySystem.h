@@ -1,0 +1,243 @@
+//===- sim/MemorySystem.h - Weak GPU memory model ---------------*- C++ -*-===//
+//
+// Part of the gpuwmm project, a reproduction of "Exposing Errors Related to
+// Weak Memory in GPU Applications" (Sorensen & Donaldson, PLDI 2016).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The operational weak memory model at the heart of the simulated GPU.
+///
+/// Model summary (DESIGN.md Sec. 3):
+///  * Global memory is a flat array of words. Words map to banks at
+///    patch-size granularity: bank(a) = (a / P) % NumBanks.
+///  * Plain stores enter a per-thread, per-bank FIFO and drain
+///    asynchronously (one probabilistic opportunity per bank per tick).
+///    Same-bank stores stay ordered; different banks drain independently,
+///    so cross-bank stores can become visible out of order (MP, SB).
+///  * Split-phase ("async") loads bind their value at a later completion
+///    tick, so a program-order-later store can become visible first (LB).
+///    A later same-thread store to the same bank forces completion first,
+///    so same-bank LB is impossible — matching the paper's observation
+///    that no weak behaviour occurs when communication locations are
+///    within one patch of each other.
+///  * A plain load (or atomic) to a bank first drains the issuing thread's
+///    own buffered stores to that bank (same-bank self-coherence), except
+///    when the newest buffered store is to the same address (forwarding).
+///  * Atomics act directly on globally visible memory without draining the
+///    thread's other banks — the root cause of the spinlock bugs the paper
+///    provokes (an unlock can become visible while the critical-section
+///    store is still buffered).
+///  * Device fences drain everything synchronously (with a latency cost);
+///    block fences promote buffered stores to block visibility only.
+///  * Bank congestion, injected by a CongestionSource, divides drain and
+///    async-completion probabilities — the causal hook by which disjoint
+///    scratchpad stress amplifies weak behaviours.
+///
+/// In sequential mode (used for reference runs) every operation takes
+/// effect immediately and the model is sequentially consistent.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUWMM_SIM_MEMORYSYSTEM_H
+#define GPUWMM_SIM_MEMORYSYSTEM_H
+
+#include "sim/ChipProfile.h"
+#include "sim/Congestion.h"
+#include "sim/Types.h"
+#include "support/Rng.h"
+
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+namespace gpuwmm {
+namespace sim {
+
+/// The simulated global memory with its weak-memory machinery.
+class MemorySystem {
+public:
+  MemorySystem(const ChipProfile &Chip, Rng &R);
+
+  /// Switches to sequentially consistent mode (reference runs).
+  void setSequentialMode(bool SC) { SeqMode = SC; }
+  bool sequentialMode() const { return SeqMode; }
+
+  /// Installs the contention source (not owned). Null means no stress.
+  void setCongestionSource(const CongestionSource *S) { Stress = S; }
+
+  /// Declares the number of simulated threads (thread ids are dense).
+  void registerThreads(unsigned NumThreads);
+
+  /// Allocates \p Words words of zeroed global memory, aligned to the
+  /// chip's patch size (as cudaMalloc aligns allocations in practice).
+  Addr alloc(unsigned Words);
+
+  /// Total words allocated so far.
+  unsigned allocatedWords() const { return NextFree; }
+
+  // --- Thread-facing operations -------------------------------------------
+
+  void store(unsigned Tid, unsigned Block, Addr A, Word V);
+  Word load(unsigned Tid, unsigned Block, Addr A);
+
+  /// Atomic compare-and-swap; returns the old value.
+  Word atomicCAS(unsigned Tid, Addr A, Word Compare, Word Value);
+  /// Atomic exchange; returns the old value.
+  Word atomicExch(unsigned Tid, Addr A, Word Value);
+  /// Atomic add; returns the old value.
+  Word atomicAdd(unsigned Tid, Addr A, Word Value);
+
+  /// Device-scope fence: synchronously drains all of \p Tid's buffered
+  /// stores and completes its pending async loads. Returns the latency in
+  /// ticks the issuing thread must stall.
+  unsigned fenceDevice(unsigned Tid);
+
+  /// Block-scope fence: promotes \p Tid's buffered stores to block
+  /// visibility (same-block loads will observe them). Returns latency.
+  unsigned fenceBlock(unsigned Tid, unsigned Block);
+
+  // --- Split-phase loads ----------------------------------------------------
+
+  /// Issues an async load; returns a ticket. The value binds at a later
+  /// completion tick. Must not target an address this thread stores to
+  /// while the load is pending (checked in debug builds).
+  unsigned issueAsyncLoad(unsigned Tid, Addr A);
+  bool asyncDone(unsigned Ticket) const;
+  Word asyncValue(unsigned Ticket) const;
+
+  // --- Scheduler integration ------------------------------------------------
+
+  /// Advances asynchronous machinery by one tick: drain opportunities for
+  /// every non-empty store FIFO and completion opportunities for pending
+  /// async loads.
+  void tick(uint64_t Now);
+
+  /// True while buffered stores or pending async loads exist.
+  bool hasPendingWork() const {
+    return !ActiveQueues.empty() || PendingAsyncCount != 0;
+  }
+
+  /// Synchronously drains everything owned by \p Tid (thread exit,
+  /// barrier-free end of kernel for that thread).
+  void drainThread(unsigned Tid);
+
+  /// Drains every thread's buffers and completes all async loads (kernel
+  /// boundaries synchronise in CUDA).
+  void drainAll();
+
+  // --- Host access (outside kernel execution) -------------------------------
+
+  Word hostRead(Addr A) const;
+  void hostWrite(Addr A, Word V);
+
+  const MemStats &stats() const { return Stats; }
+  const ChipProfile &chip() const { return Chip; }
+
+  /// Effective write-side congestion pressure on \p Bank this tick
+  /// (exposed for fence-latency modelling and tests).
+  double effectiveWritePressure(uint64_t Now, unsigned Bank);
+
+private:
+  struct BufferedStore {
+    Addr A;
+    Word V;
+    uint64_t StoreId;
+    unsigned Block;
+    bool BlockVisible;
+  };
+
+  struct BankQueue {
+    std::deque<BufferedStore> Entries;
+    bool Active = false;       ///< Registered in ActiveQueues.
+    uint64_t StallUntil = 0;   ///< Baseline-reorder quirk stall.
+  };
+
+  struct ThreadBuffers {
+    std::vector<BankQueue> Banks; ///< Sized NumBanks on first use.
+  };
+
+  struct AsyncLoadSlot {
+    unsigned Tid;
+    Addr A;
+    Word V = 0;
+    bool Done = false;
+  };
+
+  struct OverlayValue {
+    unsigned Block;
+    Word V;
+    uint64_t StoreId;
+  };
+
+  unsigned bankOf(Addr A) const { return Chip.bankOf(A); }
+
+  /// Writes \p V to globally visible memory and invalidates block-visible
+  /// overlay values for \p A. Per-location coherence: the write is dropped
+  /// if a store with a newer id already reached this address (drains of
+  /// two same-address stores can complete in either order, but the
+  /// location's value history must respect the coherence order).
+  void globalWrite(Addr A, Word V, uint64_t StoreId);
+
+  /// Applies an atomic's result: unconditional (atomics serialise at the
+  /// L2 by arrival), and the per-address coherence id is left untouched so
+  /// that a plain store already in flight can still arrive afterwards and
+  /// win — exactly the weak store-vs-atomic race real GPUs exhibit, and
+  /// (unlike an id-ordered drop) always serialisable: the atomic
+  /// observably read the pre-store value.
+  void atomicWrite(Addr A, Word V);
+
+  /// Makes one buffered store globally visible (with overlay bookkeeping).
+  void applyStore(const BufferedStore &E);
+
+  /// Applies every entry of \p Q to global memory, in order.
+  void drainQueue(unsigned Tid, unsigned Bank, bool Forced);
+
+  /// Drains \p Tid's queue for \p Bank if non-empty (same-bank coherence).
+  void selfDrainBank(unsigned Tid, unsigned Bank);
+
+  /// Completes any pending async loads of \p Tid on \p Bank (same-bank
+  /// issue-order preservation).
+  void completeThreadAsyncOnBank(unsigned Tid, unsigned Bank);
+
+  void completeAsync(AsyncLoadSlot &Slot);
+
+  /// Read as seen by (Tid, Block) ignoring the thread's own buffers.
+  Word visibleRead(unsigned Block, Addr A) const;
+
+  double drainProb(uint64_t Now, unsigned Bank);
+  double asyncProb(uint64_t Now, unsigned Bank);
+  const BankPressure &pressure(uint64_t Now, unsigned Bank);
+
+  const ChipProfile &Chip;
+  Rng &R;
+  const CongestionSource *Stress = nullptr;
+  bool SeqMode = false;
+
+  std::vector<Word> Mem;
+  std::vector<uint64_t> MemWriteId; ///< Coherence order per address.
+  unsigned NextFree = 0;
+
+  std::vector<ThreadBuffers> Buffers;
+  std::vector<std::pair<unsigned, unsigned>> ActiveQueues; ///< (tid, bank)
+
+  std::vector<AsyncLoadSlot> AsyncSlots;
+  unsigned PendingAsyncCount = 0;
+
+  /// Block-visible values not yet globally drained, keyed by address.
+  std::unordered_multimap<Addr, OverlayValue> Overlay;
+
+  uint64_t NextStoreId = 1;
+  uint64_t CurrentTick = 0;
+
+  // Per-tick pressure cache.
+  std::vector<BankPressure> PressureCache;
+  std::vector<uint64_t> PressureCacheTick;
+
+  MemStats Stats;
+};
+
+} // namespace sim
+} // namespace gpuwmm
+
+#endif // GPUWMM_SIM_MEMORYSYSTEM_H

@@ -1,0 +1,162 @@
+//===- sim/Scheduler.h - SIMT warp scheduler --------------------*- C++ -*-===//
+//
+// Part of the gpuwmm project, a reproduction of "Exposing Errors Related to
+// Weak Memory in GPU Applications" (Sorensen & Donaldson, PLDI 2016).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The SIMT scheduler: owns the simulated threads of one kernel launch,
+/// groups them into warps and blocks, places blocks onto SMs, and advances
+/// execution tick by tick. Implements CUDA barriers (with divergence
+/// detection), per-site fence policies, and the thread-randomisation
+/// heuristic of the paper's Sec. 3.5 (permuted block placement plus warp
+/// scheduling jitter, always honouring warp and block membership).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUWMM_SIM_SCHEDULER_H
+#define GPUWMM_SIM_SCHEDULER_H
+
+#include "sim/FencePolicy.h"
+#include "sim/Kernel.h"
+#include "sim/MemorySystem.h"
+#include "sim/Types.h"
+#include "support/Rng.h"
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+namespace gpuwmm {
+namespace sim {
+
+class ThreadContext;
+
+/// Execution state of one simulated thread.
+enum class ThreadState {
+  Sleeping,  ///< Eligible to run once WakeTick is reached.
+  Running,   ///< Currently inside a resume (transient).
+  AtBarrier, ///< Parked at __syncthreads.
+  OnTicket,  ///< Parked awaiting an async-load completion.
+  Done       ///< Coroutine finished.
+};
+
+/// Scheduler/launch options.
+struct SchedulerConfig {
+  /// Thread randomisation (paper Sec. 3.5): shuffles block placement and
+  /// adds warp-priority jitter while respecting warp/block membership.
+  bool RandomiseThreads = false;
+  /// Warps each SM may issue per tick.
+  unsigned IssueWidthPerSM = 2;
+  /// Tick budget; exceeding it reports RunStatus::Timeout (the analogue of
+  /// the paper's 30-second wall-clock timeout).
+  uint64_t MaxTicks = 400000;
+};
+
+/// Executes one kernel launch to completion.
+class Scheduler {
+public:
+  Scheduler(const ChipProfile &Chip, MemorySystem &Mem, Rng &R,
+            const SchedulerConfig &Config);
+  ~Scheduler();
+
+  Scheduler(const Scheduler &) = delete;
+  Scheduler &operator=(const Scheduler &) = delete;
+
+  /// Creates the grid's threads and their coroutines.
+  void launch(const LaunchConfig &LC, const KernelFn &Fn);
+
+  /// Installs the per-site fence policy (not owned; may be null).
+  void setFencePolicy(const FencePolicy *P) { Policy = P; }
+
+  /// Enables/disables the application's built-in fences (the paper's
+  /// "-nf" variants disable them).
+  void setBuiltinFences(bool Enabled) { BuiltinFences = Enabled; }
+
+  /// Runs the launched grid to completion (or fault/timeout).
+  RunResult run();
+
+  // --- Operations invoked by ThreadContext ---------------------------------
+
+  void opStore(unsigned Tid, Addr A, Word V, int Site);
+  void opLoad(unsigned Tid, Addr A, int Site);
+  void opAtomicCAS(unsigned Tid, Addr A, Word Cmp, Word Val, int Site);
+  void opAtomicExch(unsigned Tid, Addr A, Word Val, int Site);
+  void opAtomicAdd(unsigned Tid, Addr A, Word Val, int Site);
+  void opFenceDevice(unsigned Tid);
+  void opFenceBlock(unsigned Tid);
+  void opBuiltinFence(unsigned Tid);
+  void opAsyncIssue(unsigned Tid, Addr A);
+  void opAsyncWait(unsigned Tid, unsigned Ticket);
+  void opBarrier(unsigned Tid);
+  void opYield(unsigned Tid, unsigned Ticks);
+  void opFault(unsigned Tid);
+
+  Word retVal(unsigned Tid) const;
+  Rng &rng() { return R; }
+  uint64_t now() const { return Now; }
+
+private:
+  struct SimThread {
+    Kernel Coro;
+    ThreadState State = ThreadState::Sleeping;
+    uint64_t WakeTick = 0;
+    unsigned Ticket = 0;
+    Word RetVal = 0;
+    unsigned Block = 0;
+    /// Inserted-fence micro-sequencer: a policy fence is a separate
+    /// instruction after the access, so its drain lands FenceBaseLatency
+    /// ticks later — leaving the genuine reordering window a trailing
+    /// fence cannot close (e.g. after an unlock).
+    unsigned PendingFenceStage = 0;
+  };
+
+  struct Warp {
+    unsigned FirstTid = 0;
+    unsigned NumThreads = 0;
+  };
+
+  struct BlockState {
+    unsigned Live = 0;       ///< Threads not yet Done.
+    unsigned AtBarrier = 0;  ///< Threads parked at the barrier.
+    unsigned FirstTid = 0;
+    unsigned NumThreads = 0;
+  };
+
+  /// Puts \p T to sleep for \p Latency ticks.
+  void sleep(SimThread &T, unsigned Latency);
+
+  /// Arms the delayed policy fence after an access at \p Site.
+  void armPolicyFence(SimThread &T, int Site);
+
+  void resumeThread(unsigned Tid);
+  void releaseBarrier(unsigned Block);
+  bool threadEligible(const SimThread &T) const;
+
+  const ChipProfile &Chip;
+  MemorySystem &Mem;
+  Rng &R;
+  SchedulerConfig Config;
+
+  const FencePolicy *Policy = nullptr;
+  bool BuiltinFences = true;
+
+  LaunchConfig Launch;
+  std::vector<SimThread> Threads;
+  std::deque<ThreadContext> Contexts;
+  std::vector<BlockState> Blocks;
+  std::vector<std::vector<Warp>> SMWarps; ///< Warps resident on each SM.
+  std::vector<unsigned> SMRotor;          ///< Round-robin start per SM.
+  std::vector<unsigned> TicketWaiters;
+
+  uint64_t Now = 0;
+  unsigned Live = 0;
+  bool FaultFlag = false;
+  bool DivergenceFlag = false;
+};
+
+} // namespace sim
+} // namespace gpuwmm
+
+#endif // GPUWMM_SIM_SCHEDULER_H

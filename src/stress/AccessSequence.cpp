@@ -1,0 +1,110 @@
+//===- stress/AccessSequence.cpp - Stressing access sequences ---------------===//
+
+#include "stress/AccessSequence.h"
+
+#include <sstream>
+
+using namespace gpuwmm;
+using namespace gpuwmm::stress;
+
+AccessSequence::AccessSequence(const std::vector<bool> &Ops) {
+  assert(Ops.size() <= MaxLength && "sequence too long");
+  Length = static_cast<unsigned>(Ops.size());
+  for (unsigned I = 0; I != Length; ++I)
+    if (Ops[I])
+      Bits |= 1u << I;
+}
+
+std::vector<AccessSequence> AccessSequence::enumerateAll() {
+  std::vector<AccessSequence> All;
+  for (unsigned Len = 0; Len <= MaxLength; ++Len) {
+    for (unsigned Bits = 0; Bits != (1u << Len); ++Bits) {
+      std::vector<bool> Ops(Len);
+      for (unsigned I = 0; I != Len; ++I)
+        Ops[I] = (Bits >> I) & 1u;
+      All.push_back(AccessSequence(Ops));
+      if (Len == 0)
+        break; // Only one empty sequence.
+    }
+  }
+  return All;
+}
+
+AccessSequence AccessSequence::parse(const std::string &Text) {
+  std::vector<bool> Ops;
+  std::istringstream SS(Text);
+  std::string Tok;
+  while (SS >> Tok) {
+    bool IsStore;
+    size_t Prefix;
+    if (Tok.rfind("st", 0) == 0) {
+      IsStore = true;
+      Prefix = 2;
+    } else if (Tok.rfind("ld", 0) == 0) {
+      IsStore = false;
+      Prefix = 2;
+    } else {
+      continue; // e.g. "empty"
+    }
+    unsigned Repeat = 1;
+    if (Prefix < Tok.size())
+      Repeat = static_cast<unsigned>(
+          std::strtoul(Tok.c_str() + Prefix, nullptr, 10));
+    for (unsigned I = 0; I != Repeat && Ops.size() < MaxLength; ++I)
+      Ops.push_back(IsStore);
+  }
+  return AccessSequence(Ops);
+}
+
+std::string AccessSequence::str() const {
+  if (Length == 0)
+    return "empty";
+  std::string Out;
+  unsigned I = 0;
+  while (I != Length) {
+    const bool Store = isStore(I);
+    unsigned RunLen = 1;
+    while (I + RunLen != Length && isStore(I + RunLen) == Store)
+      ++RunLen;
+    if (!Out.empty())
+      Out += ' ';
+    Out += Store ? "st" : "ld";
+    if (RunLen > 1)
+      Out += std::to_string(RunLen);
+    I += RunLen;
+  }
+  return Out;
+}
+
+sim::BankPressure AccessSequence::trafficPerTick() const {
+  if (Length == 0)
+    return {};
+
+  // Adjacency weights: streaks are cheap, alternations expensive. Store
+  // streaks write-combine almost perfectly, which is why the paper's
+  // bottom-ranked sequences are exclusively stores (Tab. 3).
+  constexpr double StoreAfterStore = 0.05; // write-combined
+  constexpr double LoadAfterLoad = 0.20;   // cache hit
+  constexpr double Alternation = 1.0;
+  constexpr double AfterBoundary = 0.45;   // loop overhead breaks streaks
+  constexpr double LoopOverheadTicks = 2.0;
+
+  sim::BankPressure P;
+  for (unsigned I = 0; I != Length; ++I) {
+    double W;
+    if (I == 0)
+      W = AfterBoundary;
+    else if (isStore(I) == isStore(I - 1))
+      W = isStore(I) ? StoreAfterStore : LoadAfterLoad;
+    else
+      W = Alternation;
+    if (isStore(I))
+      P.Write += W;
+    else
+      P.Read += W;
+  }
+  const double Ticks = static_cast<double>(Length) + LoopOverheadTicks;
+  P.Write /= Ticks;
+  P.Read /= Ticks;
+  return P;
+}

@@ -1,0 +1,92 @@
+//===- stress/AccessSequence.h - Stressing access sequences -----*- C++ -*-===//
+//
+// Part of the gpuwmm project, a reproduction of "Exposing Errors Related to
+// Weak Memory in GPU Applications" (Sorensen & Donaldson, PLDI 2016).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Access sequences σ ∈ (ld|st)* executed by stressing threads in a loop
+/// (paper Sec. 3.3), together with the traffic model that converts a
+/// sequence into per-tick bank pressure.
+///
+/// The traffic model captures why the paper's most effective sequences mix
+/// loads and stores while pure-store sequences rank at the bottom of
+/// Tab. 3: consecutive stores write-combine and consecutive loads hit in
+/// cache, so only alternations generate full memory-system pressure. The
+/// loop boundary partially breaks these streaks, which is why two sequences
+/// equivalent under rotation can behave differently (the paper observed
+/// exactly this and therefore tests all 63 sequences).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUWMM_STRESS_ACCESSSEQUENCE_H
+#define GPUWMM_STRESS_ACCESSSEQUENCE_H
+
+#include "sim/Congestion.h"
+
+#include <cassert>
+#include <string>
+#include <vector>
+
+namespace gpuwmm {
+namespace stress {
+
+/// One stressing access sequence of up to MaxLength loads/stores.
+///
+/// The empty sequence is valid (a pure delay loop); with MaxLength = 5 this
+/// gives the paper's 2^(N+1) - 1 = 63 sequences.
+class AccessSequence {
+public:
+  static constexpr unsigned MaxLength = 5;
+
+  /// The empty sequence.
+  AccessSequence() = default;
+
+  /// Builds from explicit ops; true = store, false = load.
+  explicit AccessSequence(const std::vector<bool> &Ops);
+
+  /// All 63 sequences of length 0..MaxLength.
+  static std::vector<AccessSequence> enumerateAll();
+
+  /// Parses compressed notation, e.g. "ld3 st ld" or "st2 ld2" or "empty".
+  /// Returns the empty sequence for unparsable input.
+  static AccessSequence parse(const std::string &Text);
+
+  unsigned length() const { return Length; }
+  bool isStore(unsigned I) const {
+    assert(I < Length && "op index out of range");
+    return (Bits >> I) & 1u;
+  }
+
+  /// Compressed notation as used in the paper ("ld3 st ld").
+  std::string str() const;
+
+  /// Per-tick pressure one warp-normalised thread unit of this sequence
+  /// generates on its target bank.
+  ///
+  /// The model: the loop body is scanned left to right; each op's weight
+  /// depends on its predecessor (the first op's predecessor is the loop
+  /// boundary). Streaks are cheap (write-combining / cache hits),
+  /// alternations are expensive, and the total is divided by the loop's
+  /// tick cost (ops + loop overhead).
+  sim::BankPressure trafficPerTick() const;
+
+  bool operator==(const AccessSequence &O) const {
+    return Length == O.Length && Bits == O.Bits;
+  }
+  bool operator<(const AccessSequence &O) const {
+    if (Length != O.Length)
+      return Length < O.Length;
+    return Bits < O.Bits;
+  }
+
+private:
+  unsigned Length = 0;
+  unsigned Bits = 0; ///< Bit I set = op I is a store.
+};
+
+} // namespace stress
+} // namespace gpuwmm
+
+#endif // GPUWMM_STRESS_ACCESSSEQUENCE_H

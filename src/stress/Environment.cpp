@@ -1,0 +1,110 @@
+//===- stress/Environment.cpp - The eight testing environments --------------===//
+
+#include "stress/Environment.h"
+
+#include <cassert>
+
+using namespace gpuwmm;
+using namespace gpuwmm::stress;
+
+const char *stress::stressKindName(StressKind K) {
+  switch (K) {
+  case StressKind::None:
+    return "no-str";
+  case StressKind::Sys:
+    return "sys-str";
+  case StressKind::Rand:
+    return "rand-str";
+  case StressKind::Cache:
+    return "cache-str";
+  }
+  return "unknown";
+}
+
+TunedStressParams
+TunedStressParams::paperDefaults(const sim::ChipProfile &Chip) {
+  TunedStressParams P;
+  P.PatchWords = Chip.PatchSizeWords;
+  P.Spread = 2;
+  // Tab. 2 of the paper.
+  const std::string_view Short = Chip.ShortName;
+  if (Short == "980")
+    P.Seq = AccessSequence::parse("ld4 st");
+  else if (Short == "k5200")
+    P.Seq = AccessSequence::parse("ld3 st ld");
+  else if (Short == "titan" || Short == "k20")
+    P.Seq = AccessSequence::parse("ld st2 ld");
+  else if (Short == "770")
+    P.Seq = AccessSequence::parse("st2 ld2");
+  else // c2075, c2050
+    P.Seq = AccessSequence::parse("ld st");
+  return P;
+}
+
+std::string Environment::name() const {
+  return std::string(stressKindName(Kind)) + (Randomise ? "+" : "-");
+}
+
+const std::array<Environment, 8> &Environment::all() {
+  static const std::array<Environment, 8> Envs = {{
+      {StressKind::None, false},
+      {StressKind::None, true},
+      {StressKind::Sys, false},
+      {StressKind::Sys, true},
+      {StressKind::Rand, false},
+      {StressKind::Rand, true},
+      {StressKind::Cache, false},
+      {StressKind::Cache, true},
+  }};
+  return Envs;
+}
+
+std::optional<Environment> Environment::parse(const std::string &Name) {
+  for (const Environment &E : all())
+    if (E.name() == Name)
+      return E;
+  return std::nullopt;
+}
+
+std::unique_ptr<sim::CongestionSource>
+stress::applyEnvironment(const Environment &Env, sim::Device &Dev,
+                         const TunedStressParams &Tuned, Rng &R,
+                         double OccLo, double OccHi) {
+  Dev.setRandomiseThreads(Env.Randomise);
+  if (Env.Kind == StressKind::None)
+    return nullptr;
+
+  const sim::ChipProfile &Chip = Dev.chip();
+  const unsigned MaxThreads = Chip.maxConcurrentThreads();
+  const unsigned StressThreads = static_cast<unsigned>(
+      R.realIn(OccLo, OccHi) * static_cast<double>(MaxThreads));
+  const double Units = threadUnits(Chip, StressThreads);
+
+  std::unique_ptr<sim::CongestionSource> Src;
+  switch (Env.Kind) {
+  case StressKind::Sys: {
+    // Allocate a real scratchpad so stressed locations have genuine
+    // addresses (and thus genuine banks) in the device's address space.
+    const unsigned Regions = Tuned.ScratchRegions;
+    const sim::Addr Scratch = Dev.alloc(Regions * Tuned.PatchWords);
+    const unsigned Spread = std::min(Tuned.Spread, Regions);
+    std::vector<sim::Addr> Locs;
+    for (unsigned Region : R.sampleDistinct(Spread, Regions))
+      Locs.push_back(Scratch + Region * Tuned.PatchWords);
+    Src = std::make_unique<SysStress>(Chip, Tuned.Seq, std::move(Locs),
+                                      Units);
+    break;
+  }
+  case StressKind::Rand:
+    Src = std::make_unique<RandStress>(Chip, Units, R.next());
+    break;
+  case StressKind::Cache:
+    Src = std::make_unique<CacheStress>(Chip, Units, R.next());
+    break;
+  case StressKind::None:
+    break;
+  }
+  assert(Src && "stress source not constructed");
+  Dev.setCongestionSource(Src.get());
+  return Src;
+}

@@ -1,0 +1,84 @@
+//===- stress/Environment.h - The eight testing environments ----*- C++ -*-===//
+//
+// Part of the gpuwmm project, a reproduction of "Exposing Errors Related to
+// Weak Memory in GPU Applications" (Sorensen & Donaldson, PLDI 2016).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The eight testing environments of the paper's Sec. 4.2: the cross
+/// product of four stressing strategies (no-str, sys-str, rand-str,
+/// cache-str) with thread randomisation enabled (+) or disabled (-), plus
+/// the per-chip tuned stressing parameters of Tab. 2.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUWMM_STRESS_ENVIRONMENT_H
+#define GPUWMM_STRESS_ENVIRONMENT_H
+
+#include "sim/Device.h"
+#include "stress/AccessSequence.h"
+#include "stress/StressSources.h"
+#include "support/Rng.h"
+
+#include <array>
+#include <memory>
+#include <optional>
+#include <string>
+
+namespace gpuwmm {
+namespace stress {
+
+/// The four stressing strategies.
+enum class StressKind { None, Sys, Rand, Cache };
+
+const char *stressKindName(StressKind K);
+
+/// Per-chip tuned sys-str parameters (the output of the Sec. 3 tuning
+/// pipeline; Tab. 2 of the paper).
+struct TunedStressParams {
+  unsigned PatchWords = 32;       ///< Critical patch size.
+  AccessSequence Seq;             ///< Most effective access sequence.
+  unsigned Spread = 2;            ///< Locations stressed simultaneously.
+  unsigned ScratchRegions = 64;   ///< Patch-sized regions in the scratchpad.
+
+  /// The paper's published Tab. 2 values for \p Chip (used by the
+  /// application experiments; bench_tuning_summary re-derives them with
+  /// our own tuner and compares).
+  static TunedStressParams paperDefaults(const sim::ChipProfile &Chip);
+};
+
+/// One testing environment: a stressing strategy with or without thread
+/// randomisation, e.g. "sys-str+".
+struct Environment {
+  StressKind Kind = StressKind::None;
+  bool Randomise = false;
+
+  std::string name() const;
+
+  /// All eight environments in the paper's Tab. 5 column order.
+  static const std::array<Environment, 8> &all();
+
+  /// Parses e.g. "sys-str+"; returns nullopt for unknown names.
+  static std::optional<Environment> parse(const std::string &Name);
+};
+
+/// Instantiates \p Env on \p Dev for one application or litmus execution:
+/// allocates the scratchpad (for sys-str, so that its bank mapping is
+/// real), draws the per-run random stressing population and locations, and
+/// installs the congestion source and thread-randomisation flag.
+///
+/// The returned source owns the per-run stress state and must outlive the
+/// run. \p OccLo / \p OccHi bound the random stressing population as a
+/// fraction of the chip's maximum concurrent threads (the paper uses
+/// 50-100% for micro-benchmarks and scales stressing blocks against the
+/// application's launch for case studies).
+std::unique_ptr<sim::CongestionSource>
+applyEnvironment(const Environment &Env, sim::Device &Dev,
+                 const TunedStressParams &Tuned, Rng &R,
+                 double OccLo = 0.5, double OccHi = 1.0);
+
+} // namespace stress
+} // namespace gpuwmm
+
+#endif // GPUWMM_STRESS_ENVIRONMENT_H

@@ -1,0 +1,56 @@
+//===- support/Options.cpp - Tiny command-line option parser ---------------===//
+
+#include "support/Options.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+using namespace gpuwmm;
+
+Options::Options(int Argc, char **Argv) {
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg.rfind("--", 0) != 0)
+      continue;
+    Arg = Arg.substr(2);
+    const size_t Eq = Arg.find('=');
+    if (Eq == std::string::npos)
+      Values[Arg] = "1";
+    else
+      Values[Arg.substr(0, Eq)] = Arg.substr(Eq + 1);
+  }
+}
+
+int64_t Options::getInt(const std::string &Key, int64_t Default) const {
+  const auto It = Values.find(Key);
+  if (It == Values.end())
+    return Default;
+  return std::strtoll(It->second.c_str(), nullptr, 10);
+}
+
+double Options::getDouble(const std::string &Key, double Default) const {
+  const auto It = Values.find(Key);
+  if (It == Values.end())
+    return Default;
+  return std::strtod(It->second.c_str(), nullptr);
+}
+
+std::string Options::getString(const std::string &Key,
+                               const std::string &Default) const {
+  const auto It = Values.find(Key);
+  return It == Values.end() ? Default : It->second;
+}
+
+double gpuwmm::experimentScale() {
+  const char *Env = std::getenv("GPUWMM_SCALE");
+  if (!Env)
+    return 1.0;
+  const double Scale = std::strtod(Env, nullptr);
+  return Scale > 0.0 ? Scale : 1.0;
+}
+
+unsigned gpuwmm::scaledCount(unsigned Count, unsigned Min) {
+  const double Scaled = static_cast<double>(Count) * experimentScale();
+  const auto Result = static_cast<unsigned>(Scaled);
+  return std::max(Result, Min);
+}

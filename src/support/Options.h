@@ -1,0 +1,58 @@
+//===- support/Options.h - Tiny command-line option parser -----*- C++ -*-===//
+//
+// Part of the gpuwmm project, a reproduction of "Exposing Errors Related to
+// Weak Memory in GPU Applications" (Sorensen & Donaldson, PLDI 2016).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tiny "--key=value" option parser plus the global experiment-scaling
+/// knob (GPUWMM_SCALE) that lets users grow or shrink every experiment's
+/// execution counts uniformly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUWMM_SUPPORT_OPTIONS_H
+#define GPUWMM_SUPPORT_OPTIONS_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace gpuwmm {
+
+/// Parses "--key=value" and bare "--flag" arguments.
+class Options {
+public:
+  Options(int Argc, char **Argv);
+
+  bool has(const std::string &Key) const { return Values.count(Key) != 0; }
+
+  /// Returns the integer value of \p Key, or \p Default when absent.
+  int64_t getInt(const std::string &Key, int64_t Default) const;
+
+  /// Returns the double value of \p Key, or \p Default when absent.
+  double getDouble(const std::string &Key, double Default) const;
+
+  /// Returns the string value of \p Key, or \p Default when absent.
+  std::string getString(const std::string &Key,
+                        const std::string &Default) const;
+
+private:
+  std::map<std::string, std::string> Values;
+};
+
+/// Returns the global experiment scale factor.
+///
+/// Reads GPUWMM_SCALE from the environment (default 1.0). Experiment
+/// binaries multiply their execution counts by this value, so
+/// GPUWMM_SCALE=4 approaches the paper's counts and GPUWMM_SCALE=0.25 gives
+/// a smoke-test run.
+double experimentScale();
+
+/// Scales \p Count by experimentScale(), with a floor of \p Min.
+unsigned scaledCount(unsigned Count, unsigned Min = 1);
+
+} // namespace gpuwmm
+
+#endif // GPUWMM_SUPPORT_OPTIONS_H

@@ -1,0 +1,46 @@
+//===- support/Statistics.h - Small statistics helpers ---------*- C++ -*-===//
+//
+// Part of the gpuwmm project, a reproduction of "Exposing Errors Related to
+// Weak Memory in GPU Applications" (Sorensen & Donaldson, PLDI 2016).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Summary statistics (mean, median, percentiles) used by the experiment
+/// harnesses when reporting tables and figures.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUWMM_SUPPORT_STATISTICS_H
+#define GPUWMM_SUPPORT_STATISTICS_H
+
+#include <cstddef>
+#include <vector>
+
+namespace gpuwmm {
+
+/// Summary of a sample of doubles.
+struct SampleSummary {
+  size_t Count = 0;
+  double Min = 0.0;
+  double Max = 0.0;
+  double Mean = 0.0;
+  double Median = 0.0;
+};
+
+/// Returns the arithmetic mean of \p Values (0 for an empty sample).
+double mean(const std::vector<double> &Values);
+
+/// Returns the \p Q quantile (0 <= Q <= 1) of \p Values using linear
+/// interpolation between order statistics. Returns 0 for an empty sample.
+double quantile(std::vector<double> Values, double Q);
+
+/// Returns the median of \p Values (0 for an empty sample).
+double median(std::vector<double> Values);
+
+/// Computes all summary fields for \p Values.
+SampleSummary summarize(const std::vector<double> &Values);
+
+} // namespace gpuwmm
+
+#endif // GPUWMM_SUPPORT_STATISTICS_H

@@ -1,0 +1,71 @@
+//===- support/Table.cpp - Column-aligned text tables ----------------------===//
+
+#include "support/Table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace gpuwmm;
+
+void Table::addRow(std::vector<std::string> Row) {
+  Row.resize(Headers.size());
+  Rows.push_back(std::move(Row));
+}
+
+void Table::print(std::ostream &OS) const {
+  std::vector<size_t> Widths(Headers.size());
+  for (size_t C = 0; C != Headers.size(); ++C)
+    Widths[C] = Headers[C].size();
+  for (const auto &Row : Rows)
+    for (size_t C = 0; C != Row.size(); ++C)
+      Widths[C] = std::max(Widths[C], Row[C].size());
+
+  auto PrintRow = [&](const std::vector<std::string> &Row) {
+    for (size_t C = 0; C != Row.size(); ++C) {
+      OS << Row[C];
+      if (C + 1 == Row.size())
+        break;
+      OS << std::string(Widths[C] - Row[C].size() + 2, ' ');
+    }
+    OS << '\n';
+  };
+
+  PrintRow(Headers);
+  size_t Total = 0;
+  for (size_t C = 0; C != Widths.size(); ++C)
+    Total += Widths[C] + (C + 1 == Widths.size() ? 0 : 2);
+  OS << std::string(Total, '-') << '\n';
+  for (const auto &Row : Rows)
+    PrintRow(Row);
+}
+
+void Table::printCsv(std::ostream &OS) const {
+  auto PrintRow = [&](const std::vector<std::string> &Row) {
+    for (size_t C = 0; C != Row.size(); ++C) {
+      const std::string &Cell = Row[C];
+      if (Cell.find(',') != std::string::npos)
+        OS << '"' << Cell << '"';
+      else
+        OS << Cell;
+      if (C + 1 != Row.size())
+        OS << ',';
+    }
+    OS << '\n';
+  };
+  PrintRow(Headers);
+  for (const auto &Row : Rows)
+    PrintRow(Row);
+}
+
+std::string gpuwmm::formatDouble(double Value, int Decimals) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f", Decimals, Value);
+  return Buf;
+}
+
+std::string gpuwmm::formatOverheadPercent(double Ratio) {
+  const double Pct = (Ratio - 1.0) * 100.0;
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%+.0f%%", Pct);
+  return Buf;
+}

@@ -1,0 +1,55 @@
+//===- support/Table.h - Column-aligned text tables ------------*- C++ -*-===//
+//
+// Part of the gpuwmm project, a reproduction of "Exposing Errors Related to
+// Weak Memory in GPU Applications" (Sorensen & Donaldson, PLDI 2016).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal column-aligned text table used by the benchmark binaries to
+/// print the paper's tables and figure data (plus a CSV emitter for
+/// machine-readable output).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUWMM_SUPPORT_TABLE_H
+#define GPUWMM_SUPPORT_TABLE_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace gpuwmm {
+
+/// Accumulates rows of string cells and renders them with aligned columns.
+class Table {
+public:
+  /// Creates a table with the given column headers.
+  explicit Table(std::vector<std::string> Headers)
+      : Headers(std::move(Headers)) {}
+
+  /// Appends one row; the row is padded or truncated to the header width.
+  void addRow(std::vector<std::string> Row);
+
+  /// Renders with space-aligned columns and a rule under the header.
+  void print(std::ostream &OS) const;
+
+  /// Renders as comma-separated values (cells containing commas are quoted).
+  void printCsv(std::ostream &OS) const;
+
+  size_t numRows() const { return Rows.size(); }
+
+private:
+  std::vector<std::string> Headers;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+/// Formats a double with \p Decimals fractional digits.
+std::string formatDouble(double Value, int Decimals = 2);
+
+/// Formats a ratio as a signed percentage overhead, e.g. 1.45 -> "+45%".
+std::string formatOverheadPercent(double Ratio);
+
+} // namespace gpuwmm
+
+#endif // GPUWMM_SUPPORT_TABLE_H

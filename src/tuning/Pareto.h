@@ -1,0 +1,53 @@
+//===- tuning/Pareto.h - Pareto-optimal parameter selection -----*- C++ -*-===//
+//
+// Part of the gpuwmm project, a reproduction of "Exposing Errors Related to
+// Weak Memory in GPU Applications" (Sorensen & Donaldson, PLDI 2016).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper selects stressing parameters that are "maximally effective":
+/// Pareto optimal over the three litmus tests (Secs. 3.3 and 3.4), with a
+/// two-out-of-three majority tie-break among Pareto-optimal candidates.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUWMM_TUNING_PARETO_H
+#define GPUWMM_TUNING_PARETO_H
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace gpuwmm {
+namespace tuning {
+
+/// Per-candidate scores over the three litmus tests (MP, LB, SB order).
+using Objectives = std::array<uint64_t, 3>;
+
+/// True if \p B dominates \p A (B >= A everywhere and > somewhere).
+inline bool dominates(const Objectives &B, const Objectives &A) {
+  bool StrictlyBetter = false;
+  for (size_t I = 0; I != A.size(); ++I) {
+    if (B[I] < A[I])
+      return false;
+    if (B[I] > A[I])
+      StrictlyBetter = true;
+  }
+  return StrictlyBetter;
+}
+
+/// Returns the indices of the Pareto-optimal (maximal) candidates.
+std::vector<size_t> paretoFront(const std::vector<Objectives> &Scores);
+
+/// Selects one winner: the unique Pareto-optimal candidate, or — when
+/// several are maximally effective — the one that beats every other
+/// Pareto-optimal rival on at least two of the three tests (the paper's
+/// tie-break). Falls back to the largest objective total.
+size_t selectParetoWinner(const std::vector<Objectives> &Scores);
+
+} // namespace tuning
+} // namespace gpuwmm
+
+#endif // GPUWMM_TUNING_PARETO_H

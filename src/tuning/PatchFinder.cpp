@@ -1,0 +1,102 @@
+//===- tuning/PatchFinder.cpp - Critical patch size discovery ----------------===//
+
+#include "tuning/PatchFinder.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace gpuwmm;
+using namespace gpuwmm::tuning;
+using litmus::AllLitmusKinds;
+using litmus::LitmusInstance;
+using litmus::LitmusRunner;
+
+std::vector<unsigned> PatchFinder::defaultDistances() {
+  // Cover the interesting transitions for both candidate patch sizes
+  // (32 and 64): below, at and beyond each boundary.
+  return {0, 16, 32, 48, 64, 96, 128};
+}
+
+PatchScan PatchFinder::scan(const Config &Cfg) {
+  PatchScan Scan;
+  Scan.Distances =
+      Cfg.Distances.empty() ? defaultDistances() : Cfg.Distances;
+  Scan.NumLocations = Cfg.NumLocations;
+  Scan.Executions = Cfg.Executions;
+  Scan.Hist.resize(AllLitmusKinds.size());
+
+  for (size_t K = 0; K != AllLitmusKinds.size(); ++K) {
+    Scan.Hist[K].resize(Scan.Distances.size());
+    for (size_t D = 0; D != Scan.Distances.size(); ++D) {
+      auto &Row = Scan.Hist[K][D];
+      Row.resize(Cfg.NumLocations);
+      LitmusInstance T{AllLitmusKinds[K], Scan.Distances[D]};
+      for (unsigned L = 0; L != Cfg.NumLocations; ++L) {
+        const auto S = LitmusRunner::MicroStress::at(Cfg.Seq, L);
+        Row[L] = Runner.countWeak(T, S, Cfg.Executions);
+      }
+    }
+  }
+  return Scan;
+}
+
+std::vector<EpsPatch>
+PatchFinder::epsPatches(const std::vector<unsigned> &Hist, unsigned Eps) {
+  std::vector<EpsPatch> Patches;
+  unsigned I = 0;
+  const unsigned N = static_cast<unsigned>(Hist.size());
+  while (I != N) {
+    if (Hist[I] <= Eps) {
+      ++I;
+      continue;
+    }
+    const unsigned Start = I;
+    while (I != N && Hist[I] > Eps)
+      ++I;
+    Patches.push_back({Start, I - Start});
+  }
+  return Patches;
+}
+
+std::map<unsigned, unsigned>
+PatchFinder::patchSizeCounts(const PatchScan &Scan, unsigned KindIdx,
+                             unsigned Eps) {
+  std::map<unsigned, unsigned> Counts;
+  for (const auto &Row : Scan.Hist[KindIdx])
+    for (const EpsPatch &P : epsPatches(Row, Eps))
+      ++Counts[P.Size];
+  return Counts;
+}
+
+PatchDecision PatchFinder::decide(const PatchScan &Scan, unsigned Eps) {
+  PatchDecision Decision;
+  for (size_t K = 0; K != AllLitmusKinds.size(); ++K) {
+    const auto Counts = patchSizeCounts(Scan, K, Eps);
+    unsigned Mode = 0;
+    unsigned Best = 0;
+    for (const auto &[Size, Count] : Counts) {
+      if (Count > Best) {
+        Best = Count;
+        Mode = Size;
+      }
+    }
+    Decision.PerKindMode[K] = Mode;
+  }
+
+  const auto &M = Decision.PerKindMode;
+  if (M[0] != 0 && M[0] == M[1] && M[1] == M[2]) {
+    Decision.CriticalPatchSize = M[0];
+    Decision.MajorityPatchSize = M[0];
+    return Decision;
+  }
+  // 2-of-3 fallback (cf. the paper's handling of the 980, where MP patches
+  // only emerge for very large distances).
+  for (unsigned I = 0; I != 3; ++I) {
+    const unsigned A = M[I];
+    if (A != 0 && (A == M[(I + 1) % 3] || A == M[(I + 2) % 3])) {
+      Decision.MajorityPatchSize = A;
+      break;
+    }
+  }
+  return Decision;
+}

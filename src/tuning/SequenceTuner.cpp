@@ -1,0 +1,67 @@
+//===- tuning/SequenceTuner.cpp - Access-sequence ranking --------------------===//
+
+#include "tuning/SequenceTuner.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace gpuwmm;
+using namespace gpuwmm::tuning;
+using litmus::AllLitmusKinds;
+using litmus::LitmusInstance;
+using litmus::LitmusRunner;
+
+std::vector<SequenceScore> SequenceTuner::rankAll(unsigned PatchSize,
+                                                  const Config &Cfg) {
+  assert(PatchSize > 0 && "patch size required");
+  std::vector<unsigned> Distances = Cfg.Distances;
+  if (Distances.empty())
+    Distances = {PatchSize, 2 * PatchSize, 3 * PatchSize,
+                 3 * PatchSize + PatchSize / 2};
+
+  // Stressing multiple locations within one patch is redundant (Sec. 3.2),
+  // so stress the first word of each patch-sized region within L.
+  std::vector<unsigned> Locations;
+  for (unsigned L = 0; L < Cfg.NumLocations; L += PatchSize)
+    Locations.push_back(L);
+
+  std::vector<SequenceScore> Ranked;
+  for (const stress::AccessSequence &Seq :
+       stress::AccessSequence::enumerateAll()) {
+    SequenceScore Score;
+    Score.Seq = Seq;
+    for (size_t K = 0; K != AllLitmusKinds.size(); ++K) {
+      uint64_t Total = 0;
+      for (unsigned D : Distances) {
+        LitmusInstance T{AllLitmusKinds[K], D};
+        for (unsigned Loc : Locations) {
+          const auto S = LitmusRunner::MicroStress::at(Seq, Loc);
+          Total += Runner.countWeak(T, S, Cfg.Executions);
+        }
+      }
+      Score.Scores[K] = Total;
+    }
+    Ranked.push_back(Score);
+  }
+  return Ranked;
+}
+
+stress::AccessSequence
+SequenceTuner::selectBest(const std::vector<SequenceScore> &Ranked) {
+  std::vector<Objectives> Scores;
+  Scores.reserve(Ranked.size());
+  for (const SequenceScore &S : Ranked)
+    Scores.push_back(S.Scores);
+  return Ranked[selectParetoWinner(Scores)].Seq;
+}
+
+std::vector<SequenceScore>
+SequenceTuner::sortedByKind(std::vector<SequenceScore> Ranked,
+                            unsigned KindIdx) {
+  assert(KindIdx < 3 && "bad litmus kind index");
+  std::stable_sort(Ranked.begin(), Ranked.end(),
+                   [KindIdx](const SequenceScore &A, const SequenceScore &B) {
+                     return A.Scores[KindIdx] > B.Scores[KindIdx];
+                   });
+  return Ranked;
+}

@@ -1,0 +1,74 @@
+//===- tuning/SequenceTuner.h - Access-sequence ranking ---------*- C++ -*-===//
+//
+// Part of the gpuwmm project, a reproduction of "Exposing Errors Related to
+// Weak Memory in GPU Applications" (Sorensen & Donaldson, PLDI 2016).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Implements the paper's Sec. 3.3: rank all 63 access sequences
+/// σ ∈ (ld|st)^{0..5} by the number of weak behaviours they provoke in
+/// ⟨T_d, σ@l⟩ instances, summed over distances and patch-aligned stress
+/// locations; then pick the Pareto-optimal sequence over MP/LB/SB with the
+/// paper's two-of-three tie-break.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUWMM_TUNING_SEQUENCETUNER_H
+#define GPUWMM_TUNING_SEQUENCETUNER_H
+
+#include "litmus/Litmus.h"
+#include "stress/AccessSequence.h"
+#include "tuning/Pareto.h"
+
+#include <vector>
+
+namespace gpuwmm {
+namespace tuning {
+
+/// One sequence's scores over the three litmus tests.
+struct SequenceScore {
+  stress::AccessSequence Seq;
+  Objectives Scores = {0, 0, 0}; ///< MP, LB, SB order.
+
+  uint64_t total() const { return Scores[0] + Scores[1] + Scores[2]; }
+};
+
+/// Ranks access sequences for one chip.
+class SequenceTuner {
+public:
+  struct Config {
+    unsigned NumLocations = 256; ///< L; stress at the first word of each
+                                 ///< critical-patch-sized region within L.
+    unsigned Executions = 30;    ///< C per (test, d, location, sequence).
+    /// Distances to sum over; when empty, multiples of the patch size
+    /// {P, 2P, 3P, 7P/2} are used.
+    std::vector<unsigned> Distances;
+  };
+
+  SequenceTuner(const sim::ChipProfile &Chip, uint64_t Seed)
+      : Chip(Chip), Runner(Chip, Seed) {}
+
+  /// Scores all 63 sequences given the chip's critical patch size.
+  std::vector<SequenceScore> rankAll(unsigned PatchSize, const Config &Cfg);
+
+  /// Pareto selection with the paper's tie-break.
+  static stress::AccessSequence
+  selectBest(const std::vector<SequenceScore> &Ranked);
+
+  /// Sorts a copy of \p Ranked by descending score on test \p KindIdx
+  /// (for Tab. 3-style reporting).
+  static std::vector<SequenceScore>
+  sortedByKind(std::vector<SequenceScore> Ranked, unsigned KindIdx);
+
+  uint64_t executions() const { return Runner.executions(); }
+
+private:
+  const sim::ChipProfile &Chip;
+  litmus::LitmusRunner Runner;
+};
+
+} // namespace tuning
+} // namespace gpuwmm
+
+#endif // GPUWMM_TUNING_SEQUENCETUNER_H

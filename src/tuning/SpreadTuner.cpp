@@ -1,0 +1,72 @@
+//===- tuning/SpreadTuner.cpp - Stress-spread selection ----------------------===//
+
+#include "tuning/SpreadTuner.h"
+
+#include <cassert>
+
+using namespace gpuwmm;
+using namespace gpuwmm::tuning;
+using litmus::AllLitmusKinds;
+using litmus::LitmusInstance;
+using litmus::LitmusRunner;
+
+std::vector<SpreadScore> SpreadTuner::rankAll(unsigned PatchSize,
+                                              stress::AccessSequence Seq,
+                                              const Config &Cfg) {
+  assert(PatchSize > 0 && "patch size required");
+  std::vector<unsigned> Distances = Cfg.Distances;
+  if (Distances.empty())
+    Distances = {PatchSize, 2 * PatchSize, 3 * PatchSize,
+                 3 * PatchSize + PatchSize / 2};
+
+  std::vector<SpreadScore> Ranked;
+  for (unsigned M = 1; M <= Cfg.MaxSpread; ++M) {
+    SpreadScore Score;
+    Score.Spread = M;
+    for (size_t K = 0; K != AllLitmusKinds.size(); ++K) {
+      uint64_t Total = 0;
+      for (unsigned D : Distances) {
+        LitmusInstance T{AllLitmusKinds[K], D};
+        for (unsigned C = 0; C != Cfg.Executions; ++C) {
+          // A fresh random m-subset of regions per execution, as in the
+          // paper's ⟨T_d, σ@Lm⟩ tests.
+          std::vector<unsigned> Offsets;
+          for (unsigned Region : SubsetRng.sampleDistinct(M, Cfg.MaxSpread))
+            Offsets.push_back(Region * PatchSize);
+          const auto S =
+              LitmusRunner::MicroStress::atAll(Seq, std::move(Offsets));
+          Total += Runner.countWeak(T, S, 1);
+        }
+      }
+      Score.Scores[K] = Total;
+    }
+    Ranked.push_back(Score);
+  }
+  return Ranked;
+}
+
+unsigned SpreadTuner::selectBest(const std::vector<SpreadScore> &Ranked) {
+  std::vector<Objectives> Scores;
+  Scores.reserve(Ranked.size());
+  for (const SpreadScore &S : Ranked)
+    Scores.push_back(S.Scores);
+  const size_t Winner = selectParetoWinner(Scores);
+
+  // Engineering tie-break beyond the paper: when a smaller spread's total
+  // score is statistically indistinguishable from the Pareto winner's
+  // (within ~18%), prefer the smaller spread — fewer stressed regions for
+  // the same effectiveness. The paper's spread curves are shallow around
+  // the optimum (Fig. 4), so without this the sampled winner wobbles
+  // between adjacent spreads.
+  auto Total = [](const Objectives &O) { return O[0] + O[1] + O[2]; };
+  const uint64_t WinnerTotal = Total(Scores[Winner]);
+  size_t Best = Winner;
+  for (size_t I = 0; I != Ranked.size(); ++I) {
+    if (Ranked[I].Spread >= Ranked[Best].Spread)
+      continue;
+    if (static_cast<double>(Total(Scores[I])) >=
+        0.82 * static_cast<double>(WinnerTotal))
+      Best = I;
+  }
+  return Ranked[Best].Spread;
+}

@@ -1,0 +1,57 @@
+//===- tuning/Tuner.cpp - End-to-end per-chip tuning pipeline ----------------===//
+
+#include "tuning/Tuner.h"
+
+#include <algorithm>
+#include <chrono>
+
+using namespace gpuwmm;
+using namespace gpuwmm::tuning;
+
+TuningResult Tuner::tune(double Scale) {
+  const auto Start = std::chrono::steady_clock::now();
+  TuningResult Result;
+
+  auto Scaled = [Scale](unsigned N) {
+    return std::max(8u, static_cast<unsigned>(N * Scale));
+  };
+
+  // --- Stage 1: critical patch size (Sec. 3.2) ----------------------------
+  PatchFinder PF(Chip, Seed * 3 + 1);
+  PatchFinder::Config PFCfg;
+  PFCfg.NumLocations = 256;
+  PFCfg.Executions = Scaled(50);
+  Result.Patch = PatchFinder::decide(PF.scan(PFCfg), PFCfg.Eps);
+  unsigned P = 0;
+  if (Result.Patch.CriticalPatchSize)
+    P = *Result.Patch.CriticalPatchSize;
+  else if (Result.Patch.MajorityPatchSize)
+    P = *Result.Patch.MajorityPatchSize;
+  else
+    P = Chip.PatchSizeWords; // Last resort; never expected.
+  Result.Params.PatchWords = P;
+
+  // --- Stage 2: access sequence (Sec. 3.3) --------------------------------
+  SequenceTuner ST(Chip, Seed * 3 + 2);
+  SequenceTuner::Config STCfg;
+  STCfg.NumLocations = 256;
+  STCfg.Executions = Scaled(30);
+  Result.SequenceRanking = ST.rankAll(P, STCfg);
+  Result.Params.Seq = SequenceTuner::selectBest(Result.SequenceRanking);
+
+  // --- Stage 3: spread (Sec. 3.4) -------------------------------------------
+  SpreadTuner SpT(Chip, Seed * 3 + 3);
+  SpreadTuner::Config SpCfg;
+  SpCfg.MaxSpread = 16;
+  SpCfg.Executions = Scaled(500);
+  Result.SpreadRanking = SpT.rankAll(P, Result.Params.Seq, SpCfg);
+  Result.Params.Spread = SpreadTuner::selectBest(Result.SpreadRanking);
+  Result.Params.ScratchRegions = 64;
+
+  Result.Executions =
+      PF.executions() + ST.executions() + SpT.executions();
+  Result.WallSeconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
+          .count();
+  return Result;
+}

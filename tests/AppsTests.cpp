@@ -1,0 +1,200 @@
+//===- tests/AppsTests.cpp - application case-study tests -----------------------===//
+//
+// Part of the gpuwmm project, a reproduction of "Exposing Errors Related to
+// Weak Memory in GPU Applications" (Sorensen & Donaldson, PLDI 2016).
+//
+// Parameterised over all ten case studies (Tab. 4): sequential
+// consistency always satisfies the post-condition; conservative fencing
+// hardens against the aggressive environment; the weak machine exposes
+// errors exactly where the paper says it should.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/Application.h"
+
+#include "gtest/gtest.h"
+
+using namespace gpuwmm;
+using namespace gpuwmm::apps;
+
+namespace {
+
+const sim::ChipProfile &titan() {
+  return *sim::ChipProfile::lookup("titan");
+}
+
+stress::TunedStressParams tunedTitan() {
+  return stress::TunedStressParams::paperDefaults(titan());
+}
+
+constexpr stress::Environment NoStress{stress::StressKind::None, false};
+constexpr stress::Environment SysPlus{stress::StressKind::Sys, true};
+
+unsigned countErrors(AppKind App, const stress::Environment &Env,
+                     const sim::FencePolicy *Policy, unsigned Runs,
+                     uint64_t Seed) {
+  unsigned Errors = 0;
+  Rng Master(Seed);
+  for (unsigned I = 0; I != Runs; ++I)
+    Errors += isErroneous(runApplicationOnce(
+        App, titan(), Env, tunedTitan(), Policy, Master.fork(I).next()));
+  return Errors;
+}
+
+} // namespace
+
+class AppTest : public ::testing::TestWithParam<AppKind> {};
+
+TEST_P(AppTest, MetadataIsWellFormed) {
+  const auto App = makeApp(GetParam());
+  ASSERT_NE(App, nullptr);
+  EXPECT_STREQ(App->name(),
+               appName(GetParam() == AppKind::SdkRedNf ? AppKind::SdkRed
+                       : GetParam() == AppKind::CubScanNf
+                           ? AppKind::CubScan
+                       : GetParam() == AppKind::LsBhNf ? AppKind::LsBh
+                                                       : GetParam()));
+  EXPECT_GT(App->numSites(), 0u);
+  for (unsigned S = 0; S != App->numSites(); ++S) {
+    ASSERT_NE(App->siteName(S), nullptr);
+    EXPECT_GT(std::string(App->siteName(S)).size(), 0u);
+  }
+  EXPECT_GT(App->maxTicks(), 0u);
+}
+
+TEST_P(AppTest, NameParsesBack) {
+  EXPECT_EQ(parseAppName(appName(GetParam())), GetParam());
+}
+
+TEST_P(AppTest, SequentialConsistencyAlwaysPasses) {
+  // Tab. 4's post-conditions hold under SC for every app: all races are
+  // benign by design.
+  Rng Master(101);
+  for (unsigned I = 0; I != 12; ++I) {
+    const AppVerdict V = runApplicationOnce(
+        GetParam(), titan(), NoStress, tunedTitan(), nullptr,
+        Master.fork(I).next(), /*Sequential=*/true);
+    EXPECT_EQ(V, AppVerdict::Pass) << appName(GetParam()) << " run " << I;
+  }
+}
+
+TEST_P(AppTest, ConservativeFencesHardenAgainstAggressiveStress) {
+  // Sec. 5's starting point: with a fence after every instrumented
+  // access, the application is empirically stable even under sys-str+.
+  const sim::FencePolicy All =
+      sim::FencePolicy::all(appNumSites(GetParam()));
+  EXPECT_EQ(countErrors(GetParam(), SysPlus, &All, 25, 202), 0u)
+      << appName(GetParam());
+}
+
+TEST_P(AppTest, NativeErrorsAreRareOnTitan) {
+  // Tab. 5: no-str exposes (almost) nothing on Titan.
+  EXPECT_LE(countErrors(GetParam(), NoStress, nullptr, 30, 303), 1u)
+      << appName(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, AppTest,
+                         ::testing::ValuesIn(AllAppKinds),
+                         [](const auto &Info) {
+                           std::string N = appName(Info.param);
+                           for (char &C : N)
+                             if (C == '-')
+                               C = '_';
+                           return N;
+                         });
+
+//===----------------------------------------------------------------------===//
+// The paper's per-application findings (Sec. 4.3)
+//===----------------------------------------------------------------------===//
+
+class VulnerableAppTest : public ::testing::TestWithParam<AppKind> {};
+
+TEST_P(VulnerableAppTest, SysStressExposesErrors) {
+  // All applications except sdk-red and cub-scan exhibit weak-memory
+  // errors under the tuned environment. (120 runs keeps the flake
+  // probability negligible even for the least provocable apps, whose
+  // error rates sit around 5-10%.)
+  EXPECT_GE(countErrors(GetParam(), SysPlus, nullptr, 120, 404), 3u)
+      << appName(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperSet, VulnerableAppTest,
+    ::testing::Values(AppKind::CbeHt, AppKind::CbeDot, AppKind::CtOctree,
+                      AppKind::TpoTm, AppKind::SdkRedNf,
+                      AppKind::CubScanNf, AppKind::LsBhNf),
+    [](const auto &Info) {
+      std::string N = appName(Info.param);
+      for (char &C : N)
+        if (C == '-')
+          C = '_';
+      return N;
+    });
+
+TEST(AppFindingsTest, ProvidedFencesOfSdkRedSuffice) {
+  // sdk-red (with its __threadfence) never errs; sdk-red-nf does.
+  EXPECT_EQ(countErrors(AppKind::SdkRed, SysPlus, nullptr, 80, 505), 0u);
+  EXPECT_GE(countErrors(AppKind::SdkRedNf, SysPlus, nullptr, 80, 505), 4u);
+}
+
+TEST(AppFindingsTest, ProvidedFencesOfCubScanSuffice) {
+  EXPECT_EQ(countErrors(AppKind::CubScan, SysPlus, nullptr, 80, 606), 0u);
+  EXPECT_GE(countErrors(AppKind::CubScanNf, SysPlus, nullptr, 80, 606),
+            8u);
+}
+
+TEST(AppFindingsTest, ProvidedFencesOfLsBhAreInsufficient) {
+  // The paper's discovery: ls-bh errs even WITH its provided fences (they
+  // miss the displaced-body store), and so does ls-bh-nf (Tab. 5 reports
+  // errors for both; it makes no claim about their relative rates).
+  const unsigned Fenced =
+      countErrors(AppKind::LsBh, SysPlus, nullptr, 150, 707);
+  const unsigned NoFences =
+      countErrors(AppKind::LsBhNf, SysPlus, nullptr, 150, 707);
+  EXPECT_GT(Fenced, 0u) << "ls-bh's own fences must not fully protect it";
+  EXPECT_GT(NoFences, 0u);
+}
+
+TEST(AppFindingsTest, BuiltinFenceFlags) {
+  EXPECT_TRUE(appHasBuiltinFences(AppKind::SdkRed));
+  EXPECT_TRUE(appHasBuiltinFences(AppKind::CubScan));
+  EXPECT_TRUE(appHasBuiltinFences(AppKind::LsBh));
+  EXPECT_FALSE(appHasBuiltinFences(AppKind::CbeDot));
+  EXPECT_TRUE(isNoFenceVariant(AppKind::SdkRedNf));
+  EXPECT_FALSE(isNoFenceVariant(AppKind::SdkRed));
+}
+
+TEST(AppFindingsTest, TpoTmCanTimeOut) {
+  // Weak behaviour can affect termination (the paper's 30s timeout):
+  // tpo-tm occasionally livelocks until the tick budget under stress.
+  unsigned Timeouts = 0;
+  Rng Master(808);
+  for (unsigned I = 0; I != 120 && Timeouts == 0; ++I) {
+    const AppVerdict V = runApplicationOnce(
+        AppKind::TpoTm, titan(), SysPlus, tunedTitan(), nullptr,
+        Master.fork(I).next());
+    Timeouts += V == AppVerdict::Timeout;
+  }
+  EXPECT_GT(Timeouts, 0u);
+}
+
+TEST(AppFindingsTest, NativeErrorsOn770Hashtable) {
+  // Tab. 5: the GTX 770 is the only chip with native cbe-ht errors.
+  const sim::ChipProfile &C770 = *sim::ChipProfile::lookup("770");
+  const auto Tuned = stress::TunedStressParams::paperDefaults(C770);
+  unsigned Errors = 0;
+  Rng Master(909);
+  for (unsigned I = 0; I != 120; ++I)
+    Errors += isErroneous(
+        runApplicationOnce(AppKind::CbeHt, C770, NoStress, Tuned, nullptr,
+                           Master.fork(I).next()));
+  EXPECT_GT(Errors, 1u) << "770 drains slowly enough for native errors";
+}
+
+TEST(AppFindingsTest, VerdictNamesAreStable) {
+  EXPECT_STREQ(appVerdictName(AppVerdict::Pass), "pass");
+  EXPECT_STREQ(appVerdictName(AppVerdict::PostCondFail),
+               "postcondition-fail");
+  EXPECT_STREQ(appVerdictName(AppVerdict::Timeout), "timeout");
+  EXPECT_STREQ(appVerdictName(AppVerdict::SimFault), "sim-fault");
+}

@@ -1,0 +1,283 @@
+//===- tests/StressTests.cpp - stressing strategy tests -------------------------===//
+//
+// Part of the gpuwmm project, a reproduction of "Exposing Errors Related to
+// Weak Memory in GPU Applications" (Sorensen & Donaldson, PLDI 2016).
+//
+// Tests access sequences (enumeration, notation, the traffic model) and
+// the stressing strategies' pressure profiles.
+//
+//===----------------------------------------------------------------------===//
+
+#include "stress/AccessSequence.h"
+#include "stress/Environment.h"
+#include "stress/StressSources.h"
+
+#include "gtest/gtest.h"
+
+#include <set>
+
+using namespace gpuwmm;
+using namespace gpuwmm::stress;
+
+namespace {
+
+const sim::ChipProfile &titan() {
+  return *sim::ChipProfile::lookup("titan");
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// AccessSequence
+//===----------------------------------------------------------------------===//
+
+TEST(AccessSequenceTest, EnumerationYields63Sequences) {
+  // The paper's 2^(N+1) - 1 = 63 sequences (including the empty one).
+  const auto All = AccessSequence::enumerateAll();
+  EXPECT_EQ(All.size(), 63u);
+  std::set<AccessSequence> Unique(All.begin(), All.end());
+  EXPECT_EQ(Unique.size(), 63u);
+}
+
+TEST(AccessSequenceTest, NotationRoundTripsForAllSequences) {
+  for (const AccessSequence &Seq : AccessSequence::enumerateAll()) {
+    const AccessSequence Parsed = AccessSequence::parse(Seq.str());
+    EXPECT_EQ(Parsed, Seq) << "round trip failed for \"" << Seq.str()
+                           << "\"";
+  }
+}
+
+TEST(AccessSequenceTest, ParseCompressedNotation) {
+  const AccessSequence S = AccessSequence::parse("ld st2 ld");
+  ASSERT_EQ(S.length(), 4u);
+  EXPECT_FALSE(S.isStore(0));
+  EXPECT_TRUE(S.isStore(1));
+  EXPECT_TRUE(S.isStore(2));
+  EXPECT_FALSE(S.isStore(3));
+  EXPECT_EQ(S.str(), "ld st2 ld");
+}
+
+TEST(AccessSequenceTest, EmptySequence) {
+  const AccessSequence Empty;
+  EXPECT_EQ(Empty.length(), 0u);
+  EXPECT_EQ(Empty.str(), "empty");
+  const auto P = Empty.trafficPerTick();
+  EXPECT_DOUBLE_EQ(P.Write + P.Read, 0.0);
+}
+
+TEST(AccessSequenceTest, PureStoresGenerateLittleTraffic) {
+  // Tab. 3: the bottom-ranked sequences are exclusively stores
+  // (write-combining makes them cheap).
+  const auto St5 = AccessSequence::parse("st5").trafficPerTick();
+  const auto Mixed = AccessSequence::parse("ld st ld st").trafficPerTick();
+  EXPECT_LT(St5.Write + St5.Read, 0.35 * (Mixed.Write + Mixed.Read));
+}
+
+TEST(AccessSequenceTest, RotationsDiffer) {
+  // The paper observed that rotation-equivalent sequences score
+  // differently (loop-boundary effects), so all 63 are tested.
+  const auto A = AccessSequence::parse("ld st").trafficPerTick();
+  const auto B = AccessSequence::parse("st ld").trafficPerTick();
+  EXPECT_NE(A.Write, B.Write);
+}
+
+TEST(AccessSequenceTest, MixesBeatPureLoads) {
+  const auto Ld5 = AccessSequence::parse("ld5").trafficPerTick();
+  const auto Mixed = AccessSequence::parse("ld st ld st ld").trafficPerTick();
+  EXPECT_LT(Ld5.Write + Ld5.Read, Mixed.Write + Mixed.Read);
+}
+
+TEST(AccessSequenceTest, StoresContributeWritePressure) {
+  const auto OnlySt = AccessSequence::parse("st3").trafficPerTick();
+  EXPECT_GT(OnlySt.Write, 0.0);
+  EXPECT_DOUBLE_EQ(OnlySt.Read, 0.0);
+  const auto OnlyLd = AccessSequence::parse("ld3").trafficPerTick();
+  EXPECT_GT(OnlyLd.Read, 0.0);
+  EXPECT_DOUBLE_EQ(OnlyLd.Write, 0.0);
+}
+
+//===----------------------------------------------------------------------===//
+// SysStress
+//===----------------------------------------------------------------------===//
+
+TEST(SysStressTest, PressureLandsOnTargetBanks) {
+  const auto Seq = AccessSequence::parse("ld st");
+  const unsigned P = titan().PatchSizeWords;
+  // Two locations in distinct patches.
+  SysStress S(titan(), Seq, {0, 3 * P}, /*Units=*/20.0);
+  const auto At0 = S.pressureAt(1, titan().bankOf(0));
+  const auto At3 = S.pressureAt(1, titan().bankOf(3 * P));
+  EXPECT_GT(At0.Write + At0.Read, 1.0);
+  EXPECT_GT(At3.Write + At3.Read, 1.0);
+
+  // A bank two patches away gets at most neighbour spill.
+  const auto Far = S.pressureAt(1, titan().bankOf(5 * P));
+  EXPECT_LT(Far.Write + Far.Read, 0.3 * (At0.Write + At0.Read));
+}
+
+TEST(SysStressTest, SpreadDividesIntensity) {
+  const auto Seq = AccessSequence::parse("ld st");
+  const unsigned P = titan().PatchSizeWords;
+  SysStress One(titan(), Seq, {0}, 8.0);
+  SysStress Two(titan(), Seq, {0, 3 * P}, 8.0);
+  const double I1 = One.pressureAt(1, titan().bankOf(0)).Write;
+  const double I2 = Two.pressureAt(1, titan().bankOf(0)).Write;
+  EXPECT_NEAR(I2, I1 / 2.0, 1e-9);
+}
+
+TEST(SysStressTest, PerLocationPressureSaturates) {
+  // Fig. 4's mechanism: a single location cannot absorb unbounded
+  // traffic, so spreading over two locations is not a 2x intensity loss
+  // at high thread counts.
+  const auto Seq = AccessSequence::parse("ld st ld st");
+  SysStress Small(titan(), Seq, {0}, 10.0);
+  SysStress Large(titan(), Seq, {0}, 1000.0);
+  const auto PS = Small.pressureAt(1, titan().bankOf(0));
+  const auto PL = Large.pressureAt(1, titan().bankOf(0));
+  EXPECT_LT(PL.Write + PL.Read, 2.0 * (PS.Write + PS.Read))
+      << "pressure must saturate, not scale linearly";
+}
+
+TEST(SysStressTest, StressedBanksAccessor) {
+  const unsigned P = titan().PatchSizeWords;
+  SysStress S(titan(), AccessSequence::parse("st ld"), {0, P}, 10.0);
+  ASSERT_EQ(S.stressedBanks().size(), 2u);
+  EXPECT_EQ(S.stressedBanks()[0], titan().bankOf(0));
+  EXPECT_EQ(S.stressedBanks()[1], titan().bankOf(P));
+}
+
+//===----------------------------------------------------------------------===//
+// RandStress / CacheStress
+//===----------------------------------------------------------------------===//
+
+TEST(RandStressTest, SmearedPressureIsWellBelowSysFocus) {
+  RandStress R(titan(), 30.0, /*RunSeed=*/1);
+  SysStress S(titan(), AccessSequence::parse("ld st"), {0}, 30.0);
+  const double SysPeak = S.pressureAt(1, titan().bankOf(0)).Write +
+                         S.pressureAt(1, titan().bankOf(0)).Read;
+  double RandMean = 0;
+  for (unsigned B = 0; B != titan().NumBanks; ++B) {
+    const auto P = R.pressureAt(1, B);
+    RandMean += P.Write + P.Read;
+  }
+  RandMean /= titan().NumBanks;
+  EXPECT_LT(RandMean, 0.25 * SysPeak);
+}
+
+TEST(RandStressTest, HotSpotsComeAndGo) {
+  RandStress R(titan(), 30.0, /*RunSeed=*/7);
+  double MaxSeen = 0, MinOfMax = 1e9;
+  for (uint64_t Epoch = 0; Epoch != 16; ++Epoch) {
+    double EpochMax = 0;
+    for (unsigned B = 0; B != titan().NumBanks; ++B) {
+      const auto P = R.pressureAt(Epoch * 48 + 1, B);
+      EpochMax = std::max(EpochMax, P.Write + P.Read);
+    }
+    MaxSeen = std::max(MaxSeen, EpochMax);
+    MinOfMax = std::min(MinOfMax, EpochMax);
+  }
+  EXPECT_GT(MaxSeen, 2.0 * MinOfMax)
+      << "some epochs must cluster, most must not";
+}
+
+TEST(CacheStressTest, SweepVisitsEveryBank) {
+  CacheStress C(titan(), 40.0, /*RunSeed=*/3);
+  std::set<unsigned> HotBanks;
+  for (uint64_t T = 0; T != 16 * 16; T += 16) {
+    for (unsigned B = 0; B != titan().NumBanks; ++B)
+      if (C.pressureAt(T, B).Write > 0)
+        HotBanks.insert(B);
+  }
+  EXPECT_EQ(HotBanks.size(), titan().NumBanks)
+      << "the L2-sized sweep must rotate over all banks";
+}
+
+TEST(CacheStressTest, OneHotBankAtATime) {
+  CacheStress C(titan(), 40.0, /*RunSeed=*/3);
+  for (uint64_t T = 0; T != 64; ++T) {
+    unsigned Hot = 0;
+    for (unsigned B = 0; B != titan().NumBanks; ++B)
+      Hot += C.pressureAt(T, B).Write > 0;
+    EXPECT_LE(Hot, 1u);
+  }
+}
+
+TEST(ThreadUnitsTest, ScalesWithPopulationAndOccupancy) {
+  const double Half =
+      threadUnits(titan(), titan().maxConcurrentThreads() / 2);
+  const double Full = threadUnits(titan(), titan().maxConcurrentThreads());
+  EXPECT_NEAR(Full, 2.0 * Half, 1e-9);
+  EXPECT_GT(Full, 0.0);
+}
+
+//===----------------------------------------------------------------------===//
+// Environments
+//===----------------------------------------------------------------------===//
+
+TEST(EnvironmentTest, AllEightNamesAreDistinct) {
+  std::set<std::string> Names;
+  for (const Environment &E : Environment::all())
+    Names.insert(E.name());
+  EXPECT_EQ(Names.size(), 8u);
+  EXPECT_TRUE(Names.count("no-str-"));
+  EXPECT_TRUE(Names.count("sys-str+"));
+  EXPECT_TRUE(Names.count("rand-str-"));
+  EXPECT_TRUE(Names.count("cache-str+"));
+}
+
+TEST(EnvironmentTest, ParseRoundTrips) {
+  for (const Environment &E : Environment::all()) {
+    const auto Parsed = Environment::parse(E.name());
+    ASSERT_TRUE(Parsed.has_value());
+    EXPECT_EQ(Parsed->Kind, E.Kind);
+    EXPECT_EQ(Parsed->Randomise, E.Randomise);
+  }
+  EXPECT_FALSE(Environment::parse("bogus").has_value());
+}
+
+TEST(EnvironmentTest, PaperDefaultsMatchTable2) {
+  size_t Count = 0;
+  const sim::ChipProfile *Chips = sim::ChipProfile::all(Count);
+  for (size_t I = 0; I != Count; ++I) {
+    const auto P = TunedStressParams::paperDefaults(Chips[I]);
+    EXPECT_EQ(P.PatchWords, Chips[I].PatchSizeWords);
+    EXPECT_EQ(P.Spread, 2u);
+    EXPECT_GT(P.Seq.length(), 0u);
+  }
+  EXPECT_EQ(TunedStressParams::paperDefaults(*sim::ChipProfile::lookup(
+                                                 "titan"))
+                .Seq.str(),
+            "ld st2 ld");
+  EXPECT_EQ(TunedStressParams::paperDefaults(*sim::ChipProfile::lookup(
+                                                 "c2075"))
+                .Seq.str(),
+            "ld st");
+}
+
+TEST(EnvironmentTest, ApplyAllocatesScratchpadForSysStr) {
+  Rng R(1);
+  sim::Device Dev(titan(), 1);
+  const unsigned Before = Dev.memory().allocatedWords();
+  const auto Tuned = TunedStressParams::paperDefaults(titan());
+  const auto Src =
+      applyEnvironment({StressKind::Sys, false}, Dev, Tuned, R);
+  ASSERT_NE(Src, nullptr);
+  EXPECT_GE(Dev.memory().allocatedWords() - Before,
+            Tuned.ScratchRegions * Tuned.PatchWords);
+}
+
+TEST(EnvironmentTest, ApplyNoStrInstallsNothing) {
+  Rng R(1);
+  sim::Device Dev(titan(), 1);
+  const auto Tuned = TunedStressParams::paperDefaults(titan());
+  const auto Src =
+      applyEnvironment({StressKind::None, true}, Dev, Tuned, R);
+  EXPECT_EQ(Src, nullptr);
+}
+
+TEST(EnvironmentTest, StressKindNames) {
+  EXPECT_STREQ(stressKindName(StressKind::None), "no-str");
+  EXPECT_STREQ(stressKindName(StressKind::Sys), "sys-str");
+  EXPECT_STREQ(stressKindName(StressKind::Rand), "rand-str");
+  EXPECT_STREQ(stressKindName(StressKind::Cache), "cache-str");
+}

@@ -1,0 +1,245 @@
+//===- tests/TuningTests.cpp - tuning pipeline tests ----------------------------===//
+//
+// Part of the gpuwmm project, a reproduction of "Exposing Errors Related to
+// Weak Memory in GPU Applications" (Sorensen & Donaldson, PLDI 2016).
+//
+// Unit tests for Pareto selection and eps-patch analysis on synthetic
+// data, plus integration tests running the real tuning stages on the
+// simulated chips.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tuning/PatchFinder.h"
+#include "tuning/Pareto.h"
+#include "tuning/SequenceTuner.h"
+#include "tuning/SpreadTuner.h"
+
+#include "gtest/gtest.h"
+
+using namespace gpuwmm;
+using namespace gpuwmm::tuning;
+
+//===----------------------------------------------------------------------===//
+// Pareto selection
+//===----------------------------------------------------------------------===//
+
+TEST(ParetoTest, Dominates) {
+  EXPECT_TRUE(dominates({2, 2, 2}, {1, 1, 1}));
+  EXPECT_TRUE(dominates({2, 1, 1}, {1, 1, 1}));
+  EXPECT_FALSE(dominates({1, 1, 1}, {1, 1, 1})); // Equal: not strict.
+  EXPECT_FALSE(dominates({3, 0, 3}, {1, 1, 1})); // Trade-off.
+}
+
+TEST(ParetoTest, FrontKeepsNonDominated) {
+  const std::vector<Objectives> S{{5, 5, 5}, {1, 1, 1}, {6, 1, 1},
+                                  {5, 5, 4}};
+  const auto Front = paretoFront(S);
+  EXPECT_EQ(Front, (std::vector<size_t>{0, 2}));
+}
+
+TEST(ParetoTest, SingletonFrontWins) {
+  const std::vector<Objectives> S{{1, 2, 3}, {4, 5, 6}, {2, 2, 2}};
+  EXPECT_EQ(selectParetoWinner(S), 1u);
+}
+
+TEST(ParetoTest, TwoOfThreeTieBreak) {
+  // Index 0 beats index 1 on tests 0 and 1 (2 of 3): the paper's
+  // tie-break selects it.
+  const std::vector<Objectives> S{{10, 10, 1}, {9, 9, 5}};
+  EXPECT_EQ(selectParetoWinner(S), 0u);
+}
+
+TEST(ParetoTest, FallbackToTotal) {
+  // A three-way rock-paper-scissors front: no candidate wins 2-of-3
+  // against every rival; highest total wins.
+  const std::vector<Objectives> S{{10, 1, 5}, {5, 10, 1}, {1, 5, 11}};
+  EXPECT_EQ(selectParetoWinner(S), 2u);
+}
+
+//===----------------------------------------------------------------------===//
+// eps-patch analysis (synthetic data)
+//===----------------------------------------------------------------------===//
+
+TEST(EpsPatchTest, ExtractsMaximalRuns) {
+  //                       0  1  2  3  4  5  6  7  8  9
+  const std::vector<unsigned> H{0, 9, 9, 0, 9, 9, 9, 0, 0, 9};
+  const auto Patches = PatchFinder::epsPatches(H, /*Eps=*/3);
+  ASSERT_EQ(Patches.size(), 3u);
+  EXPECT_EQ(Patches[0].Start, 1u);
+  EXPECT_EQ(Patches[0].Size, 2u);
+  EXPECT_EQ(Patches[1].Start, 4u);
+  EXPECT_EQ(Patches[1].Size, 3u);
+  EXPECT_EQ(Patches[2].Start, 9u);
+  EXPECT_EQ(Patches[2].Size, 1u);
+}
+
+TEST(EpsPatchTest, ThresholdIsStrict) {
+  const std::vector<unsigned> H{3, 3, 4};
+  const auto Patches = PatchFinder::epsPatches(H, 3);
+  ASSERT_EQ(Patches.size(), 1u);
+  EXPECT_EQ(Patches[0].Start, 2u); // "> eps", not ">=".
+}
+
+TEST(EpsPatchTest, EmptyAndAllHot) {
+  EXPECT_TRUE(PatchFinder::epsPatches({}, 3).empty());
+  EXPECT_TRUE(PatchFinder::epsPatches({0, 1, 2}, 3).empty());
+  const auto All = PatchFinder::epsPatches({5, 5, 5}, 3);
+  ASSERT_EQ(All.size(), 1u);
+  EXPECT_EQ(All[0].Size, 3u);
+}
+
+namespace {
+
+/// Builds a synthetic scan whose every histogram shows patches of width
+/// \p Width (count 50) separated by \p Width zeros.
+PatchScan syntheticScan(unsigned Width, unsigned NumKinds = 3) {
+  PatchScan Scan;
+  Scan.Distances = {Width, 2 * Width};
+  Scan.NumLocations = 8 * Width;
+  Scan.Executions = 100;
+  Scan.Hist.resize(NumKinds);
+  for (auto &PerKind : Scan.Hist) {
+    PerKind.resize(Scan.Distances.size());
+    for (auto &Row : PerKind) {
+      Row.assign(Scan.NumLocations, 0);
+      for (unsigned I = 0; I != Scan.NumLocations; ++I)
+        if ((I / Width) % 2 == 0)
+          Row[I] = 50;
+    }
+  }
+  return Scan;
+}
+
+} // namespace
+
+TEST(PatchDecisionTest, AgreementYieldsCriticalPatchSize) {
+  const auto D = PatchFinder::decide(syntheticScan(32), /*Eps=*/3);
+  ASSERT_TRUE(D.CriticalPatchSize.has_value());
+  EXPECT_EQ(*D.CriticalPatchSize, 32u);
+  EXPECT_EQ(D.PerKindMode[0], 32u);
+  EXPECT_EQ(D.PerKindMode[1], 32u);
+  EXPECT_EQ(D.PerKindMode[2], 32u);
+}
+
+TEST(PatchDecisionTest, DisagreementFallsBackToMajority) {
+  // Two tests show width 32, one shows width 64 (the paper's 980
+  // situation, where MP patches only appear at very large d).
+  PatchScan Scan = syntheticScan(32);
+  const PatchScan Other = syntheticScan(64);
+  Scan.Hist[0] = Other.Hist[0];
+  const auto D = PatchFinder::decide(Scan, 3);
+  EXPECT_FALSE(D.CriticalPatchSize.has_value());
+  ASSERT_TRUE(D.MajorityPatchSize.has_value());
+  EXPECT_EQ(*D.MajorityPatchSize, 32u);
+}
+
+TEST(PatchDecisionTest, NoPatchesNoDecision) {
+  PatchScan Scan = syntheticScan(32);
+  for (auto &PerKind : Scan.Hist)
+    for (auto &Row : PerKind)
+      Row.assign(Row.size(), 0);
+  const auto D = PatchFinder::decide(Scan, 3);
+  EXPECT_FALSE(D.CriticalPatchSize.has_value());
+  EXPECT_FALSE(D.MajorityPatchSize.has_value());
+}
+
+TEST(PatchSizeCountsTest, CountsAcrossDistances) {
+  const auto Scan = syntheticScan(16);
+  const auto Counts = PatchFinder::patchSizeCounts(Scan, 0, 3);
+  // 4 patches per histogram, 2 distances.
+  ASSERT_TRUE(Counts.count(16));
+  EXPECT_EQ(Counts.at(16), 8u);
+}
+
+//===----------------------------------------------------------------------===//
+// Integration with the simulated chips
+//===----------------------------------------------------------------------===//
+
+class PatchIntegration : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(PatchIntegration, FindsTheChipsNaturalPatchSize) {
+  const sim::ChipProfile &Chip = *sim::ChipProfile::lookup(GetParam());
+  PatchFinder PF(Chip, 77);
+  PatchFinder::Config Cfg;
+  Cfg.NumLocations = 256;
+  Cfg.Executions = 60;
+  const auto Decision = PatchFinder::decide(PF.scan(Cfg), Cfg.Eps);
+  ASSERT_TRUE(Decision.CriticalPatchSize ||
+              Decision.MajorityPatchSize);
+  const unsigned P = Decision.CriticalPatchSize
+                         ? *Decision.CriticalPatchSize
+                         : *Decision.MajorityPatchSize;
+  EXPECT_EQ(P, Chip.PatchSizeWords);
+}
+
+INSTANTIATE_TEST_SUITE_P(KeyChips, PatchIntegration,
+                         ::testing::Values("titan", "c2075", "980"));
+
+TEST(SequenceTunerTest, SelectedSequenceMixesLoadsAndStores) {
+  SequenceTuner Tuner(*sim::ChipProfile::lookup("titan"), 88);
+  SequenceTuner::Config Cfg;
+  Cfg.NumLocations = 128;
+  Cfg.Executions = 15;
+  const auto Ranked = Tuner.rankAll(32, Cfg);
+  ASSERT_EQ(Ranked.size(), 63u);
+  const auto Best = SequenceTuner::selectBest(Ranked);
+  bool HasLd = false, HasSt = false;
+  for (unsigned I = 0; I != Best.length(); ++I)
+    (Best.isStore(I) ? HasSt : HasLd) = true;
+  EXPECT_TRUE(HasLd && HasSt)
+      << "all of the paper's winning sequences mix loads and stores";
+}
+
+TEST(SequenceTunerTest, PureStoreSequencesRankNearBottom) {
+  SequenceTuner Tuner(*sim::ChipProfile::lookup("titan"), 89);
+  SequenceTuner::Config Cfg;
+  Cfg.NumLocations = 128;
+  Cfg.Executions = 15;
+  const auto Ranked = Tuner.rankAll(32, Cfg);
+  uint64_t BestTotal = 0, St5Total = 0;
+  const auto St5 = stress::AccessSequence::parse("st5");
+  for (const auto &S : Ranked) {
+    BestTotal = std::max(BestTotal, S.total());
+    if (S.Seq == St5)
+      St5Total = S.total();
+  }
+  EXPECT_LT(St5Total * 4, BestTotal)
+      << "Tab. 3: all-store sequences sit orders below the top";
+}
+
+TEST(SequenceTunerTest, SortedByKindIsDescending) {
+  std::vector<SequenceScore> Scores(3);
+  Scores[0].Scores = {1, 0, 0};
+  Scores[1].Scores = {3, 0, 0};
+  Scores[2].Scores = {2, 0, 0};
+  const auto Sorted = SequenceTuner::sortedByKind(Scores, 0);
+  EXPECT_EQ(Sorted[0].Scores[0], 3u);
+  EXPECT_EQ(Sorted[1].Scores[0], 2u);
+  EXPECT_EQ(Sorted[2].Scores[0], 1u);
+}
+
+TEST(SpreadTunerTest, SmallSpreadWins) {
+  // Fig. 4: the effective spread is small (the paper found 2 on every
+  // chip); large spreads dilute per-bank pressure below the threshold.
+  SpreadTuner Tuner(*sim::ChipProfile::lookup("k20"), 90);
+  SpreadTuner::Config Cfg;
+  Cfg.MaxSpread = 12;
+  Cfg.Executions = 150;
+  const auto Ranked = Tuner.rankAll(
+      32, stress::AccessSequence::parse("ld st2 ld"), Cfg);
+  ASSERT_EQ(Ranked.size(), 12u);
+  const unsigned Best = SpreadTuner::selectBest(Ranked);
+  EXPECT_GE(Best, 1u);
+  EXPECT_LE(Best, 3u);
+
+  // The tail must decay: spread 12 scores well below the winner.
+  uint64_t BestTotal = 0, TailTotal = 0;
+  for (const auto &S : Ranked) {
+    const uint64_t Total = S.Scores[0] + S.Scores[1] + S.Scores[2];
+    if (S.Spread == Best)
+      BestTotal = Total;
+    if (S.Spread == 12)
+      TailTotal = Total;
+  }
+  EXPECT_LT(2 * TailTotal, BestTotal);
+}

@@ -1,0 +1,231 @@
+//===- tools/gpuwmm.cpp - Command-line driver ---------------------------------===//
+//
+// Part of the gpuwmm project, a reproduction of "Exposing Errors Related to
+// Weak Memory in GPU Applications" (Sorensen & Donaldson, PLDI 2016).
+//
+// The command-line front end a user of the paper's tooling would reach
+// for: run litmus tests, tune a chip, test an application under an
+// environment, harden it via empirical fence insertion, or fuzz random
+// programs — all from one binary.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/ProgramFuzzer.h"
+#include "harden/FenceInsertion.h"
+#include "harness/EnvironmentRunner.h"
+#include "support/Options.h"
+#include "support/Table.h"
+#include "tuning/Tuner.h"
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+
+using namespace gpuwmm;
+
+namespace {
+
+int usage() {
+  std::printf(
+      "usage: gpuwmm <command> [--options]\n"
+      "\n"
+      "commands:\n"
+      "  chips                         list the simulated GPUs\n"
+      "  litmus  --chip --test --distance [--stress] [--fences] [--runs]\n"
+      "                                run a litmus test (MP LB SB R S 2+2W)\n"
+      "  tune    --chip [--scale]      run the Sec. 3 tuning pipeline\n"
+      "  test    --chip --app --env [--runs]\n"
+      "                                run an application under an environment\n"
+      "  harden  --chip --app [--stable-runs]\n"
+      "                                empirical fence insertion (Alg. 1)\n"
+      "  fuzz    --chip [--programs] [--runs]\n"
+      "                                random-program differential fuzzing\n"
+      "\n"
+      "common options: --seed=N; GPUWMM_SCALE scales run counts globally\n");
+  return 2;
+}
+
+const sim::ChipProfile *chipOrDie(const Options &Opts) {
+  const std::string Name = Opts.getString("chip", "titan");
+  const sim::ChipProfile *Chip = sim::ChipProfile::lookup(Name);
+  if (!Chip) {
+    std::fprintf(stderr, "error: unknown chip '%s' (try: gpuwmm chips)\n",
+                 Name.c_str());
+    std::exit(2);
+  }
+  return Chip;
+}
+
+int cmdChips() {
+  Table T({"short name", "chip", "architecture", "patch (words)",
+           "power query"});
+  size_t Count = 0;
+  const sim::ChipProfile *Chips = sim::ChipProfile::all(Count);
+  for (size_t I = 0; I != Count; ++I)
+    T.addRow({Chips[I].ShortName, Chips[I].Name, archName(Chips[I].Arch),
+              std::to_string(Chips[I].PatchSizeWords),
+              Chips[I].SupportsPowerQuery ? "yes" : "no"});
+  T.print(std::cout);
+  return 0;
+}
+
+int cmdLitmus(const Options &Opts) {
+  const sim::ChipProfile *Chip = chipOrDie(Opts);
+  const std::string TestName = Opts.getString("test", "MP");
+  litmus::LitmusKind Kind = litmus::LitmusKind::MP;
+  bool Found = false;
+  for (litmus::LitmusKind K : litmus::AllLitmusKindsExtended)
+    if (TestName == litmusName(K)) {
+      Kind = K;
+      Found = true;
+    }
+  if (!Found) {
+    std::fprintf(stderr, "error: unknown litmus test '%s'\n",
+                 TestName.c_str());
+    return 2;
+  }
+  const unsigned Distance = static_cast<unsigned>(
+      Opts.getInt("distance", 2 * Chip->PatchSizeWords));
+  const unsigned Runs =
+      static_cast<unsigned>(Opts.getInt("runs", scaledCount(1000)));
+  const uint64_t Seed = static_cast<uint64_t>(Opts.getInt("seed", 1));
+
+  litmus::LitmusRunner Runner(*Chip, Seed);
+  litmus::LitmusRunner::RunOpts RunOpts;
+  RunOpts.WithFences = Opts.has("fences");
+
+  const auto Tuned = stress::TunedStressParams::paperDefaults(*Chip);
+  unsigned Weak = 0;
+  if (Opts.has("stress")) {
+    // Scan one location per bank and report the most effective, as the
+    // tuning micro-benchmarks do.
+    for (unsigned Region = 0; Region != Chip->NumBanks; ++Region)
+      Weak = std::max(
+          Weak, Runner.countWeak({Kind, Distance},
+                                 litmus::LitmusRunner::MicroStress::at(
+                                     Tuned.Seq, Region * Tuned.PatchWords),
+                                 Runs, RunOpts));
+  } else {
+    Weak = Runner.countWeak({Kind, Distance},
+                            litmus::LitmusRunner::MicroStress::none(), Runs,
+                            RunOpts);
+  }
+  std::printf("%s d=%u on %s%s%s: %u/%u weak (%.2f%%)\n",
+              litmusName(Kind), Distance, Chip->ShortName,
+              Opts.has("stress") ? " +tuned-stress" : "",
+              RunOpts.WithFences ? " +fences" : "", Weak, Runs,
+              100.0 * Weak / Runs);
+  return 0;
+}
+
+int cmdTune(const Options &Opts) {
+  const sim::ChipProfile *Chip = chipOrDie(Opts);
+  tuning::Tuner Tuner(*Chip, static_cast<uint64_t>(Opts.getInt("seed", 7)));
+  const auto R = Tuner.tune(Opts.getDouble("scale", 1.0) *
+                            experimentScale());
+  std::printf("%s: critical patch size %u, sequence \"%s\", spread %u "
+              "(%llu executions, %.1f s)\n",
+              Chip->ShortName, R.Params.PatchWords,
+              R.Params.Seq.str().c_str(), R.Params.Spread,
+              static_cast<unsigned long long>(R.Executions),
+              R.WallSeconds);
+  return 0;
+}
+
+int cmdTest(const Options &Opts) {
+  const sim::ChipProfile *Chip = chipOrDie(Opts);
+  const auto App = apps::parseAppName(Opts.getString("app", "cbe-dot"));
+  if (!App) {
+    std::fprintf(stderr, "error: unknown app\n");
+    return 2;
+  }
+  const auto Env =
+      stress::Environment::parse(Opts.getString("env", "sys-str+"));
+  if (!Env) {
+    std::fprintf(stderr, "error: unknown environment\n");
+    return 2;
+  }
+  const unsigned Runs =
+      static_cast<unsigned>(Opts.getInt("runs", scaledCount(200)));
+  const auto Cell = harness::runCell(
+      *App, *Chip, *Env, stress::TunedStressParams::paperDefaults(*Chip),
+      Runs, static_cast<uint64_t>(Opts.getInt("seed", 1)));
+  std::printf("%s on %s under %s: %u/%u erroneous (%u timeouts) -> %s\n",
+              apps::appName(*App), Chip->ShortName, Env->name().c_str(),
+              Cell.Errors, Cell.Runs, Cell.Timeouts,
+              Cell.effective()    ? "EFFECTIVE (>5%)"
+              : Cell.observed()   ? "observed"
+                                  : "no errors");
+  return 0;
+}
+
+int cmdHarden(const Options &Opts) {
+  const sim::ChipProfile *Chip = chipOrDie(Opts);
+  const auto App = apps::parseAppName(Opts.getString("app", "cbe-dot"));
+  if (!App) {
+    std::fprintf(stderr, "error: unknown app\n");
+    return 2;
+  }
+  const unsigned StableRuns = static_cast<unsigned>(
+      Opts.getInt("stable-runs", scaledCount(300)));
+  harden::AppCheckOracle Oracle(
+      *App, *Chip, static_cast<uint64_t>(Opts.getInt("seed", 1)),
+      StableRuns);
+  const unsigned NumSites = apps::appNumSites(*App);
+  const auto R = harden::empiricalFenceInsertion(
+      sim::FencePolicy::all(NumSites), Oracle);
+  const auto Instance = apps::makeApp(*App);
+  std::printf("%s on %s: %u -> %u fences (%s, %u round(s), %.2f s)\n",
+              apps::appName(*App), Chip->ShortName, NumSites,
+              R.Fences.count(), R.Stable ? "stable" : "NOT STABLE",
+              R.Rounds, R.WallSeconds);
+  for (unsigned S : R.Fences.sites())
+    std::printf("  fence after: %s\n", Instance->siteName(S));
+  return R.Stable ? 0 : 1;
+}
+
+int cmdFuzz(const Options &Opts) {
+  const sim::ChipProfile *Chip = chipOrDie(Opts);
+  const unsigned Programs =
+      static_cast<unsigned>(Opts.getInt("programs", scaledCount(20)));
+  const unsigned Runs =
+      static_cast<unsigned>(Opts.getInt("runs", scaledCount(40)));
+  Rng Gen(static_cast<uint64_t>(Opts.getInt("seed", 1)));
+  unsigned WeakProgs = 0;
+  for (unsigned I = 0; I != Programs; ++I) {
+    const auto P = fuzz::Program::generate(Gen, 3, 5, false);
+    const auto R = fuzz::fuzzProgram(P, *Chip, Runs, Gen.next(), true);
+    if (R.WeakOutcomes == 0)
+      continue;
+    ++WeakProgs;
+    std::printf("program %u: %u/%u non-SC outcomes (%u distinct, SC set "
+                "%zu)\n%s",
+                I, R.WeakOutcomes, R.Runs, R.DistinctWeak, R.ScSetSize,
+                P.str().c_str());
+  }
+  std::printf("%u/%u programs exhibited weak outcomes under sys-str+\n",
+              WeakProgs, Programs);
+  return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc < 2)
+    return usage();
+  const char *Cmd = Argv[1];
+  Options Opts(Argc, Argv);
+  if (!std::strcmp(Cmd, "chips"))
+    return cmdChips();
+  if (!std::strcmp(Cmd, "litmus"))
+    return cmdLitmus(Opts);
+  if (!std::strcmp(Cmd, "tune"))
+    return cmdTune(Opts);
+  if (!std::strcmp(Cmd, "test"))
+    return cmdTest(Opts);
+  if (!std::strcmp(Cmd, "harden"))
+    return cmdHarden(Opts);
+  if (!std::strcmp(Cmd, "fuzz"))
+    return cmdFuzz(Opts);
+  return usage();
+}
