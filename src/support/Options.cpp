@@ -4,20 +4,22 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <string_view>
 
 using namespace gpuwmm;
 
 Options::Options(int Argc, char **Argv) {
   for (int I = 1; I < Argc; ++I) {
-    std::string Arg = Argv[I];
-    if (Arg.rfind("--", 0) != 0)
+    std::string_view Arg = Argv[I];
+    if (Arg.substr(0, 2) != "--")
       continue;
-    Arg = Arg.substr(2);
+    Arg.remove_prefix(2);
     const size_t Eq = Arg.find('=');
-    if (Eq == std::string::npos)
-      Values[Arg] = "1";
+    if (Eq == std::string_view::npos)
+      Values.insert_or_assign(std::string(Arg), std::string("1"));
     else
-      Values[Arg.substr(0, Eq)] = Arg.substr(Eq + 1);
+      Values.insert_or_assign(std::string(Arg.substr(0, Eq)),
+                              std::string(Arg.substr(Eq + 1)));
   }
 }
 

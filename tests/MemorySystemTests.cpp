@@ -116,8 +116,9 @@ TEST_F(MemoryFixture, SameBankStoresDrainInOrder) {
     for (uint64_t T = 1; T != 100; ++T) {
       M.tick(T);
       // If A+1 is visible, A must be visible too (FIFO order).
-      if (M.hostRead(A + 1) == 1)
+      if (M.hostRead(A + 1) == 1) {
         EXPECT_EQ(M.hostRead(A), 1u);
+      }
       if (!M.hasPendingWork())
         break;
     }

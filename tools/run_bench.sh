@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Runs every built gpuwmm benchmark binary and emits a JSON summary
+# (per-bench wall seconds + exit status) for BENCH_*.json tracking.
+#
+# usage: tools/run_bench.sh [build-dir] [out.json]
+#
+# Build the benchmarks first:
+#   cmake -B build -S . -DGPUWMM_BUILD_BENCH=ON && cmake --build build -j
+#
+# GPUWMM_SCALE applies as usual; e.g. GPUWMM_SCALE=0.1 for a quick pass.
+
+set -u
+
+BUILD_DIR="${1:-build}"
+OUT="${2:-bench-results.json}"
+BENCH_DIR="$BUILD_DIR/bench"
+LOG_DIR="$BUILD_DIR/bench-logs"
+
+if [ ! -d "$BENCH_DIR" ]; then
+  echo "error: $BENCH_DIR not found; configure with -DGPUWMM_BUILD_BENCH=ON" >&2
+  exit 2
+fi
+
+mkdir -p "$LOG_DIR"
+failed=0
+
+BENCHES=()
+for b in "$BENCH_DIR"/bench_*; do
+  [ -x "$b" ] && [ -f "$b" ] && BENCHES+=("$b")
+done
+if [ "${#BENCHES[@]}" -eq 0 ]; then
+  echo "error: no bench binaries in $BENCH_DIR" >&2
+  exit 2
+fi
+
+{
+  printf '{\n'
+  printf '  "schema": "gpuwmm-bench-v1",\n'
+  printf '  "scale": "%s",\n' "${GPUWMM_SCALE:-1}"
+  printf '  "results": [\n'
+  first=1
+  for b in "${BENCHES[@]}"; do
+    name="$(basename "$b")"
+    log="$LOG_DIR/$name.log"
+    echo "== $name" >&2
+    start=$(date +%s.%N)
+    "$b" >"$log" 2>&1
+    status=$?
+    if [ "$status" -ne 0 ]; then
+      failed=1
+      echo "   FAILED (exit $status), see $log" >&2
+    fi
+    end=$(date +%s.%N)
+    secs=$(awk -v a="$start" -v b="$end" 'BEGIN { printf "%.3f", b - a }')
+    [ "$first" -eq 1 ] || printf ',\n'
+    first=0
+    printf '    {"name": "%s", "seconds": %s, "exit": %d, "log": "%s"}' \
+      "$name" "$secs" "$status" "$log"
+  done
+  printf '\n  ]\n}\n'
+} > "$OUT"
+
+echo "wrote $OUT (logs in $LOG_DIR)" >&2
+exit "$failed"
