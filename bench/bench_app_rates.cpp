@@ -51,7 +51,7 @@ int main(int Argc, char **Argv) {
     for (const auto &Env : stress::Environment::all()) {
       const auto Cell = harness::runCell(
           App, *Chip, Env, Tuned, Runs,
-          Seed + static_cast<uint64_t>(App) * 131);
+          Rng::deriveStream(Seed, 2 * static_cast<uint64_t>(App)));
       char Buf[32];
       std::snprintf(Buf, sizeof(Buf), "%.0f%%%s",
                     100.0 * Cell.errorRate(),
@@ -61,7 +61,9 @@ int main(int Argc, char **Argv) {
     // SC sanity: the application must always pass under sequential
     // consistency (its races are benign by design).
     unsigned ScErrors = 0;
-    Rng Master(Seed ^ 0xabcdef);
+    // 2*App / 2*App+1: disjoint top-level streams per app for the rate
+    // cells and the SC-sanity runs.
+    Rng Master(Rng::deriveStream(Seed, 2 * static_cast<uint64_t>(App) + 1));
     for (unsigned I = 0; I != std::min(Runs, 20u); ++I) {
       const auto V = apps::runApplicationOnce(
           App, *Chip, {stress::StressKind::None, false}, Tuned, nullptr,

@@ -49,7 +49,7 @@ int main(int Argc, char **Argv) {
     Table T({"test", "native%", "hit%", "miss%", "m=1", "m=2", "m=3", "m=4",
              "m=5"});
     for (size_t K = 0; K != AllLitmusKinds.size(); ++K) {
-      LitmusRunner Runner(Chip, Seed + K);
+      LitmusRunner Runner(Chip, Rng::deriveStream(Seed, K));
       const LitmusInstance Inst{AllLitmusKinds[K], 2 * P};
 
       const double Native =
@@ -72,7 +72,7 @@ int main(int Argc, char **Argv) {
 
       // Spread curve with the canonical alternating sequence over 16
       // regions (score = weak count over C runs, random subsets).
-      Rng SubsetRng(Seed * 77 + K);
+      Rng SubsetRng(Rng::deriveStream(Seed, 100 + K));
       for (unsigned M = 1; M <= MaxSpread; ++M) {
         unsigned Score = 0;
         for (unsigned Run = 0; Run != C / 2; ++Run) {

@@ -51,7 +51,7 @@ int main(int Argc, char **Argv) {
     unsigned BestScore = 0;
     for (const auto &Env : stress::Environment::all()) {
       const auto S = harness::runEnvironmentSummary(
-          Chip, Env, Tuned, Runs, Seed + CI * 977);
+          Chip, Env, Tuned, Runs, Rng::deriveStream(Seed, CI));
       BestScore = std::max(BestScore,
                            S.AppsEffective * 100 + S.AppsWithErrors);
       Summaries.push_back(S);

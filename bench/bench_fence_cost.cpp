@@ -63,20 +63,25 @@ int main(int Argc, char **Argv) {
       continue;
     for (apps::AppKind App : CostApps) {
       const unsigned NumSites = apps::appNumSites(App);
-      const uint64_t PairSeed =
-          Seed + CI * 8191 + static_cast<uint64_t>(App) * 131;
+      const uint64_t PairSeed = Rng::deriveStream(
+          Rng::deriveStream(Seed, CI), static_cast<uint64_t>(App));
+      // Disjoint branches: the oracle internally derives per-check streams
+      // from its seed, so it gets its own branch; the measurement stream is
+      // shared across the three fence policies (paired by design).
+      const uint64_t OracleSeed = Rng::deriveStream(PairSeed, 0);
+      const uint64_t MeasureSeed = Rng::deriveStream(PairSeed, 1);
 
       // emp fences are found per GPU, as in the paper (Sec. 6).
-      harden::AppCheckOracle Oracle(App, Chip, PairSeed, StableRuns);
+      harden::AppCheckOracle Oracle(App, Chip, OracleSeed, StableRuns);
       const auto Insertion = harden::empiricalFenceInsertion(
           sim::FencePolicy::all(NumSites), Oracle);
 
       const auto NoF = harness::measureCost(
-          App, Chip, sim::FencePolicy::none(NumSites), Runs, PairSeed + 1);
+          App, Chip, sim::FencePolicy::none(NumSites), Runs, MeasureSeed);
       const auto Emp = harness::measureCost(App, Chip, Insertion.Fences,
-                                            Runs, PairSeed + 1);
+                                            Runs, MeasureSeed);
       const auto Cons = harness::measureCost(
-          App, Chip, sim::FencePolicy::all(NumSites), Runs, PairSeed + 1);
+          App, Chip, sim::FencePolicy::all(NumSites), Runs, MeasureSeed);
 
       const double EmpOvh = Emp.RuntimeMs / NoF.RuntimeMs;
       const double ConsOvh = Cons.RuntimeMs / NoF.RuntimeMs;

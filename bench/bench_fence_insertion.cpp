@@ -71,7 +71,7 @@ int main(int Argc, char **Argv) {
 
     for (const sim::ChipProfile *Chip : Order) {
       harden::AppCheckOracle Oracle(App, *Chip,
-                                    Seed + static_cast<uint64_t>(App) * 31,
+                                    Rng::deriveStream(Seed, static_cast<uint64_t>(App)),
                                     StableRuns);
       harden::InsertionConfig Cfg;
       Cfg.InitialIterations = InitialIters;

@@ -48,11 +48,14 @@ int main(int Argc, char **Argv) {
   for (unsigned I = 0; I != Programs; ++I) {
     const fuzz::Program P = fuzz::Program::generate(Gen, 3, 5, false);
     const auto Native =
-        fuzz::fuzzProgram(P, *Chip, Runs, Seed + I, /*Stressed=*/false);
+        fuzz::fuzzProgram(P, *Chip, Runs, Rng::deriveStream(Seed, 2 * I),
+                          /*Stressed=*/false);
     const auto Stressed =
-        fuzz::fuzzProgram(P, *Chip, Runs, Seed + I, /*Stressed=*/true);
+        fuzz::fuzzProgram(P, *Chip, Runs, Rng::deriveStream(Seed, 2 * I),
+                          /*Stressed=*/true);
     const auto Fenced = fuzz::fuzzProgram(P.fullyFenced(), *Chip,
-                                          /*Runs=*/8, Seed + I, true);
+                                          /*Runs=*/8,
+                                          Rng::deriveStream(Seed, 2 * I + 1), true);
     NativeWeakProgs += Native.WeakOutcomes > 0;
     StressedWeakProgs += Stressed.WeakOutcomes > 0;
     NativeWeakRuns += Native.WeakOutcomes;

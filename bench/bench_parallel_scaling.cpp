@@ -1,0 +1,105 @@
+//===- bench/bench_parallel_scaling.cpp - Campaign engine speedup ------------===//
+//
+// Part of the gpuwmm project, a reproduction of "Exposing Errors Related to
+// Weak Memory in GPU Applications" (Sorensen & Donaldson, PLDI 2016).
+//
+// Measures the parallel campaign engine on a Tab. 5 sub-grid: wall-clock
+// at 1 job versus a ladder of job counts up to the host's parallelism,
+// verifying at every rung that the report is byte-identical to the serial
+// one (the determinism contract) while the wall-clock shrinks.
+//
+// Output: a table of jobs / seconds / speedup / efficiency plus a JSON
+// line for BENCH_*.json tracking. Speedup is hardware-bound: expect ~N x
+// on N idle cores (>= 3x at 8 jobs on 8 cores); a single-core host runs
+// the ladder and reports ~1x throughout.
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/Campaign.h"
+#include "support/Options.h"
+#include "support/Table.h"
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+
+using namespace gpuwmm;
+
+namespace {
+
+double timedRun(const harness::CampaignConfig &Config, unsigned Jobs,
+                std::string &Json) {
+  ThreadPool Pool(Jobs);
+  const auto Start = std::chrono::steady_clock::now();
+  const harness::CampaignReport Report =
+      harness::runCampaign(Config, &Pool);
+  const double Seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
+          .count();
+  std::ostringstream OS;
+  harness::writeCampaignJson(Report, OS);
+  Json = OS.str();
+  return Seconds;
+}
+
+} // namespace
+
+int main() {
+  // The sub-grid: two chips spanning both patch sizes, the four
+  // "+"-randomised environments, all ten applications.
+  harness::CampaignConfig Config;
+  Config.Chips = {sim::ChipProfile::lookup("titan"),
+                  sim::ChipProfile::lookup("980")};
+  Config.Envs = {{stress::StressKind::None, true},
+                 {stress::StressKind::Sys, true},
+                 {stress::StressKind::Rand, true},
+                 {stress::StressKind::Cache, true}};
+  for (apps::AppKind App : apps::AllAppKinds)
+    Config.Apps.push_back(App);
+  Config.Runs = scaledCount(25);
+  Config.Seed = 1;
+
+  const unsigned MaxJobs = ThreadPool::defaultJobs();
+  std::printf("parallel scaling: %zu cells x %u runs, up to %u jobs\n\n",
+              Config.Chips.size() * Config.Envs.size() * Config.Apps.size(),
+              Config.Runs, MaxJobs);
+
+  std::string SerialJson;
+  const double SerialSeconds = timedRun(Config, 1, SerialJson);
+
+  Table T({"jobs", "seconds", "speedup", "efficiency", "identical"});
+  char Buf[3][32];
+  std::snprintf(Buf[0], sizeof(Buf[0]), "%.2f", SerialSeconds);
+  T.addRow({"1", Buf[0], "1.00x", "100%", "yes"});
+
+  bool AllIdentical = true;
+  double BestSpeedup = 1.0;
+  for (unsigned Jobs = 2; Jobs <= MaxJobs; Jobs *= 2) {
+    std::string Json;
+    const double Seconds = timedRun(Config, Jobs, Json);
+    const bool Identical = Json == SerialJson;
+    AllIdentical = AllIdentical && Identical;
+    const double Speedup = SerialSeconds / Seconds;
+    BestSpeedup = std::max(BestSpeedup, Speedup);
+    std::snprintf(Buf[0], sizeof(Buf[0]), "%.2f", Seconds);
+    std::snprintf(Buf[1], sizeof(Buf[1]), "%.2fx", Speedup);
+    std::snprintf(Buf[2], sizeof(Buf[2]), "%.0f%%",
+                  100.0 * Speedup / Jobs);
+    T.addRow({std::to_string(Jobs), Buf[0], Buf[1], Buf[2],
+              Identical ? "yes" : "NO"});
+  }
+  T.print(std::cout);
+
+  std::printf("\n{\"bench\": \"parallel_scaling\", \"max_jobs\": %u, "
+              "\"serial_seconds\": %.3f, \"best_speedup\": %.2f, "
+              "\"deterministic\": %s}\n",
+              MaxJobs, SerialSeconds, BestSpeedup,
+              AllIdentical ? "true" : "false");
+
+  // Determinism is a hard failure; speedup depends on the host and is
+  // reported, not asserted.
+  return AllIdentical ? 0 : 1;
+}

@@ -104,7 +104,7 @@ int main(int Argc, char **Argv) {
   // The paper plots d in {0, 32, 64} for Titan and {0, 64, 128} for
   // C2075/980.
   runChip("titan", {0, 32, 64}, C, Seed);
-  runChip("c2075", {0, 64, 128}, C, Seed + 1);
-  runChip("980", {0, 64, 128}, C, Seed + 2);
+  runChip("c2075", {0, 64, 128}, C, Rng::deriveStream(Seed, 1));
+  runChip("980", {0, 64, 128}, C, Rng::deriveStream(Seed, 2));
   return 0;
 }

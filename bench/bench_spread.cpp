@@ -62,6 +62,6 @@ int main(int Argc, char **Argv) {
     return 0;
   }
   runChip("980", MaxSpread, Executions, Seed);
-  runChip("k20", MaxSpread, Executions, Seed + 1);
+  runChip("k20", MaxSpread, Executions, Rng::deriveStream(Seed, 1));
   return 0;
 }

@@ -41,7 +41,7 @@ int main(int Argc, char **Argv) {
     if (!Only.empty() && Only != Chip.ShortName)
       continue;
 
-    tuning::Tuner Tune(Chip, Seed + I);
+    tuning::Tuner Tune(Chip, Rng::deriveStream(Seed, I));
     const tuning::TuningResult R = Tune.tune(Scale);
     const auto Paper = stress::TunedStressParams::paperDefaults(Chip);
 

@@ -266,3 +266,19 @@ FuzzResult fuzz::fuzzProgram(const Program &P,
   Result.DistinctScSeen = static_cast<unsigned>(ScSeen.size());
   return Result;
 }
+
+std::vector<BatchEntry> fuzz::fuzzBatch(const sim::ChipProfile &Chip,
+                                        const BatchConfig &Cfg,
+                                        uint64_t Seed, ThreadPool *Pool) {
+  std::vector<BatchEntry> Batch(Cfg.Programs);
+  parallelFor(Pool, Cfg.Programs, [&](size_t I) {
+    BatchEntry &Entry = Batch[I];
+    Rng Gen(Rng::deriveStream(Seed, 2 * static_cast<uint64_t>(I)));
+    Entry.P = Program::generate(Gen, Cfg.NumVars, Cfg.OpsPerThread,
+                                Cfg.WithFences);
+    Entry.R = fuzzProgram(Entry.P, Chip, Cfg.RunsPerProgram,
+                          Rng::deriveStream(Seed, 2 * static_cast<uint64_t>(I) + 1),
+                          Cfg.Stressed);
+  });
+  return Batch;
+}

@@ -28,6 +28,7 @@
 #include "sim/ChipProfile.h"
 #include "sim/Types.h"
 #include "support/Rng.h"
+#include "support/ThreadPool.h"
 
 #include <set>
 #include <string>
@@ -93,6 +94,31 @@ struct FuzzResult {
 /// against the exhaustive SC set.
 FuzzResult fuzzProgram(const Program &P, const sim::ChipProfile &Chip,
                        unsigned Runs, uint64_t Seed, bool Stressed);
+
+/// A fuzzing batch: how many programs to generate and how to fuzz each.
+struct BatchConfig {
+  unsigned Programs = 20;
+  unsigned RunsPerProgram = 40;
+  unsigned NumVars = 3;
+  unsigned OpsPerThread = 5;
+  bool WithFences = false; ///< Generate fences too (soundness property).
+  bool Stressed = true;
+};
+
+/// One program of a batch, with its classification.
+struct BatchEntry {
+  Program P;
+  FuzzResult R;
+};
+
+/// Generates and fuzzes \p Cfg.Programs random programs. Program I is
+/// generated from stream deriveStream(Seed, 2I) and fuzzed with stream
+/// deriveStream(Seed, 2I+1), so programs are mutually independent (no
+/// generation-order coupling) and the batch distributes over \p Pool with
+/// results bit-identical to serial execution, in program order.
+std::vector<BatchEntry> fuzzBatch(const sim::ChipProfile &Chip,
+                                  const BatchConfig &Cfg, uint64_t Seed,
+                                  ThreadPool *Pool = nullptr);
 
 } // namespace fuzz
 } // namespace gpuwmm

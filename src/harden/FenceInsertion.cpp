@@ -2,8 +2,10 @@
 
 #include "harden/FenceInsertion.h"
 
+#include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <vector>
 
 using namespace gpuwmm;
 using namespace gpuwmm::harden;
@@ -88,20 +90,33 @@ harden::empiricalFenceInsertion(const FencePolicy &Initial,
 
 AppCheckOracle::AppCheckOracle(apps::AppKind App,
                                const sim::ChipProfile &Chip, uint64_t Seed,
-                               unsigned StableRuns)
+                               unsigned StableRuns, ThreadPool *Pool)
     : App(App), Chip(Chip), Env{stress::StressKind::Sys, true},
       Tuned(stress::TunedStressParams::paperDefaults(Chip)), Seed(Seed),
-      StableRuns(StableRuns) {}
+      StableRuns(StableRuns), Pool(Pool) {}
 
 bool AppCheckOracle::checkApplication(const FencePolicy &F,
                                       unsigned Iterations) {
-  for (unsigned I = 0; I != Iterations; ++I) {
-    const uint64_t RunSeed = Seed * 6364136223846793005ULL + Execs;
-    ++Execs;
-    const apps::AppVerdict V =
-        apps::runApplicationOnce(App, Chip, Env, Tuned, &F, RunSeed);
-    if (apps::isErroneous(V))
-      return false;
+  const uint64_t CheckSeed = Rng::deriveStream(Seed, Checks++);
+  // Scan in fixed-size chunks, stopping after the first chunk containing
+  // an error: most failing candidates error within the first few runs, so
+  // this keeps the serial early-exit savings, while full-chunk execution
+  // keeps the verdict AND executions() identical for every job count
+  // (the chunk size must therefore never depend on the pool).
+  constexpr unsigned ChunkSize = 32;
+  std::vector<uint8_t> Erroneous(Iterations, 0);
+  for (unsigned Base = 0; Base < Iterations; Base += ChunkSize) {
+    const unsigned Chunk = std::min(ChunkSize, Iterations - Base);
+    Execs += Chunk;
+    parallelFor(Pool, Chunk, [&](size_t I) {
+      const apps::AppVerdict V = apps::runApplicationOnce(
+          App, Chip, Env, Tuned, &F,
+          Rng::deriveStream(CheckSeed, Base + static_cast<uint64_t>(I)));
+      Erroneous[Base + I] = apps::isErroneous(V);
+    });
+    for (unsigned I = 0; I != Chunk; ++I)
+      if (Erroneous[Base + I])
+        return false;
   }
   return true;
 }

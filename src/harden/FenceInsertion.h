@@ -25,6 +25,7 @@
 
 #include "apps/Application.h"
 #include "sim/FencePolicy.h"
+#include "support/ThreadPool.h"
 
 #include <cstdint>
 
@@ -77,10 +78,19 @@ InsertionResult empiricalFenceInsertion(const sim::FencePolicy &Initial,
 /// Concrete oracle: executes an application case study on a chip under a
 /// testing environment (sys-str+ by default, as in the paper, chosen for
 /// its Sec. 4 effectiveness).
+///
+/// The K-th check the reduction performs draws its run seeds from stream
+/// deriveStream(seed, K), one sub-stream per run — not from a shared
+/// running counter — so a check's verdict depends only on its position in
+/// the reduction, and the runs of each candidate-fence trial distribute
+/// over \p Pool with verdicts bit-identical to serial execution. Runs
+/// execute in fixed-size chunks with early exit after the first erroneous
+/// chunk, so executions() is jobs-invariant too.
 class AppCheckOracle final : public CheckOracle {
 public:
   AppCheckOracle(apps::AppKind App, const sim::ChipProfile &Chip,
-                 uint64_t Seed, unsigned StableRuns = 300);
+                 uint64_t Seed, unsigned StableRuns = 300,
+                 ThreadPool *Pool = nullptr);
 
   bool checkApplication(const sim::FencePolicy &F,
                         unsigned Iterations) override;
@@ -95,6 +105,8 @@ private:
   stress::TunedStressParams Tuned;
   uint64_t Seed;
   unsigned StableRuns;
+  ThreadPool *Pool;
+  uint64_t Checks = 0; ///< Checks performed; stream id of the next check.
   uint64_t Execs = 0;
 };
 

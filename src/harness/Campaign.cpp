@@ -1,0 +1,183 @@
+//===- harness/Campaign.cpp - Parallel Tab. 5 campaign engine ----------------===//
+
+#include "harness/Campaign.h"
+
+#include <cassert>
+#include <ostream>
+
+using namespace gpuwmm;
+using namespace gpuwmm::harness;
+
+namespace {
+
+/// Canonical position of \p Chip in the Tab. 1 ordering.
+uint64_t canonicalChipIndex(const sim::ChipProfile &Chip) {
+  size_t Count = 0;
+  const sim::ChipProfile *All = sim::ChipProfile::all(Count);
+  for (size_t I = 0; I != Count; ++I)
+    if (&All[I] == &Chip)
+      return I;
+  assert(false && "chip not in the canonical table");
+  return 0;
+}
+
+/// Canonical position of \p Env in the Tab. 5 column ordering.
+uint64_t canonicalEnvIndex(const stress::Environment &Env) {
+  const auto &All = stress::Environment::all();
+  for (size_t I = 0; I != All.size(); ++I)
+    if (All[I].Kind == Env.Kind && All[I].Randomise == Env.Randomise)
+      return I;
+  assert(false && "environment not in the canonical table");
+  return 0;
+}
+
+/// Canonical position of \p App in the Tab. 4 ordering.
+uint64_t canonicalAppIndex(apps::AppKind App) {
+  for (size_t I = 0; I != apps::AllAppKinds.size(); ++I)
+    if (apps::AllAppKinds[I] == App)
+      return I;
+  assert(false && "app not in the canonical table");
+  return 0;
+}
+
+} // namespace
+
+CampaignConfig CampaignConfig::full() {
+  CampaignConfig Config;
+  size_t Count = 0;
+  const sim::ChipProfile *All = sim::ChipProfile::all(Count);
+  for (size_t I = 0; I != Count; ++I)
+    Config.Chips.push_back(&All[I]);
+  for (const stress::Environment &Env : stress::Environment::all())
+    Config.Envs.push_back(Env);
+  for (apps::AppKind App : apps::AllAppKinds)
+    Config.Apps.push_back(App);
+  return Config;
+}
+
+uint64_t harness::campaignCellSeed(uint64_t Seed,
+                                   const sim::ChipProfile &Chip,
+                                   const stress::Environment &Env,
+                                   apps::AppKind App) {
+  // Pack the canonical identity into one stream index. The factors are the
+  // full table sizes, not the selection sizes, so a sub-grid draws the
+  // same streams as the full grid.
+  const uint64_t NumEnvs = stress::Environment::all().size();
+  const uint64_t NumApps = apps::AllAppKinds.size();
+  const uint64_t Packed =
+      (canonicalChipIndex(Chip) * NumEnvs + canonicalEnvIndex(Env)) *
+          NumApps +
+      canonicalAppIndex(App);
+  return Rng::deriveStream(Seed, Packed);
+}
+
+CampaignReport harness::runCampaign(const CampaignConfig &Config,
+                                    ThreadPool *Pool) {
+  assert(!Config.Chips.empty() && !Config.Envs.empty() &&
+         !Config.Apps.empty() && "empty campaign grid");
+  CampaignReport Report;
+  Report.Config = Config;
+
+  // Lay out the cells (and their tuned parameters) up front, then flatten
+  // (cell, run) into one index space: with only tens of cells but
+  // hundreds of runs each, cell-level distribution alone would starve
+  // workers at the tail.
+  Report.Cells.reserve(Config.Chips.size() * Config.Envs.size() *
+                       Config.Apps.size());
+  std::vector<stress::TunedStressParams> Tuned;
+  Tuned.reserve(Config.Chips.size());
+  for (const sim::ChipProfile *Chip : Config.Chips)
+    Tuned.push_back(stress::TunedStressParams::paperDefaults(*Chip));
+  std::vector<uint64_t> CellSeeds;
+  for (size_t C = 0; C != Config.Chips.size(); ++C)
+    for (const stress::Environment &Env : Config.Envs)
+      for (apps::AppKind App : Config.Apps) {
+        CampaignCell Cell;
+        Cell.Chip = Config.Chips[C];
+        Cell.Env = Env;
+        Cell.App = App;
+        Cell.Result.Runs = Config.Runs;
+        Report.Cells.push_back(Cell);
+        CellSeeds.push_back(
+            campaignCellSeed(Config.Seed, *Config.Chips[C], Env, App));
+      }
+
+  const size_t CellsPerChip = Config.Envs.size() * Config.Apps.size();
+  std::vector<apps::AppVerdict> Verdicts(Report.Cells.size() * Config.Runs);
+  parallelFor(Pool, Verdicts.size(), [&](size_t I) {
+    const size_t CellIdx = I / Config.Runs;
+    const unsigned Run = static_cast<unsigned>(I % Config.Runs);
+    const CampaignCell &Cell = Report.Cells[CellIdx];
+    Verdicts[I] = apps::runApplicationOnce(
+        Cell.App, *Cell.Chip, Cell.Env, Tuned[CellIdx / CellsPerChip],
+        /*Policy=*/nullptr, Rng::deriveStream(CellSeeds[CellIdx], Run));
+  });
+
+  for (size_t CellIdx = 0; CellIdx != Report.Cells.size(); ++CellIdx) {
+    CellResult &R = Report.Cells[CellIdx].Result;
+    for (unsigned Run = 0; Run != Config.Runs; ++Run) {
+      const apps::AppVerdict V = Verdicts[CellIdx * Config.Runs + Run];
+      if (apps::isErroneous(V))
+        ++R.Errors;
+      if (V == apps::AppVerdict::Timeout)
+        ++R.Timeouts;
+    }
+  }
+
+  // Tab. 5 "a/b" summaries, one per (chip, env) in cell order.
+  Report.Summaries.resize(Config.Chips.size() * Config.Envs.size());
+  for (size_t CellIdx = 0; CellIdx != Report.Cells.size(); ++CellIdx) {
+    const CellResult &R = Report.Cells[CellIdx].Result;
+    EnvironmentSummary &S = Report.Summaries[CellIdx / Config.Apps.size()];
+    S.AppsWithErrors += R.observed();
+    S.AppsEffective += R.effective();
+  }
+  return Report;
+}
+
+void harness::writeCampaignJson(const CampaignReport &Report,
+                                std::ostream &OS) {
+  const CampaignConfig &Config = Report.Config;
+  OS << "{\n"
+     << "  \"schema\": \"gpuwmm-campaign-v1\",\n"
+     << "  \"seed\": " << Config.Seed << ",\n"
+     << "  \"runs\": " << Config.Runs << ",\n";
+
+  OS << "  \"chips\": [";
+  for (size_t I = 0; I != Config.Chips.size(); ++I)
+    OS << (I ? ", " : "") << '"' << Config.Chips[I]->ShortName << '"';
+  OS << "],\n  \"envs\": [";
+  for (size_t I = 0; I != Config.Envs.size(); ++I)
+    OS << (I ? ", " : "") << '"' << Config.Envs[I].name() << '"';
+  OS << "],\n  \"apps\": [";
+  for (size_t I = 0; I != Config.Apps.size(); ++I)
+    OS << (I ? ", " : "") << '"' << apps::appName(Config.Apps[I]) << '"';
+  OS << "],\n";
+
+  OS << "  \"cells\": [\n";
+  for (size_t I = 0; I != Report.Cells.size(); ++I) {
+    const CampaignCell &Cell = Report.Cells[I];
+    const CellResult &R = Cell.Result;
+    OS << "    {\"chip\": \"" << Cell.Chip->ShortName << "\", \"env\": \""
+       << Cell.Env.name() << "\", \"app\": \"" << apps::appName(Cell.App)
+       << "\", \"runs\": " << R.Runs << ", \"errors\": " << R.Errors
+       << ", \"timeouts\": " << R.Timeouts << ", \"effective\": "
+       << (R.effective() ? "true" : "false") << "}"
+       << (I + 1 == Report.Cells.size() ? "" : ",") << "\n";
+  }
+  OS << "  ],\n";
+
+  OS << "  \"summaries\": [\n";
+  for (size_t C = 0; C != Config.Chips.size(); ++C)
+    for (size_t E = 0; E != Config.Envs.size(); ++E) {
+      const EnvironmentSummary &S = Report.summary(C, E);
+      const bool Last =
+          C + 1 == Config.Chips.size() && E + 1 == Config.Envs.size();
+      OS << "    {\"chip\": \"" << Config.Chips[C]->ShortName
+         << "\", \"env\": \"" << Config.Envs[E].name()
+         << "\", \"apps_effective\": " << S.AppsEffective
+         << ", \"apps_with_errors\": " << S.AppsWithErrors << "}"
+         << (Last ? "" : ",") << "\n";
+    }
+  OS << "  ]\n}\n";
+}

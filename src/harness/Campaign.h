@@ -1,0 +1,86 @@
+//===- harness/Campaign.h - Parallel Tab. 5 campaign engine ----*- C++ -*-===//
+//
+// Part of the gpuwmm project, a reproduction of "Exposing Errors Related to
+// Weak Memory in GPU Applications" (Sorensen & Donaldson, PLDI 2016).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runs the paper's full Tab. 5 grid — chips x testing environments x
+/// applications — as one parallel campaign and renders a JSON report.
+///
+/// Every (chip, env, app, run) tuple owns an RNG stream derived from the
+/// campaign seed and the tuple's *canonical* identity (its position in the
+/// full Tab. 1 / Tab. 5 orderings, not in the user's selection), so:
+///  * the report is byte-identical for any --jobs value, and
+///  * a sub-grid campaign reproduces exactly the corresponding cells of
+///    the full campaign at the same seed — the property the golden
+///    regression tests pin.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUWMM_HARNESS_CAMPAIGN_H
+#define GPUWMM_HARNESS_CAMPAIGN_H
+
+#include "harness/EnvironmentRunner.h"
+
+#include <iosfwd>
+#include <vector>
+
+namespace gpuwmm {
+namespace harness {
+
+/// The grid a campaign covers. Empty vectors are invalid; use
+/// CampaignConfig::full() for the paper's complete grid.
+struct CampaignConfig {
+  std::vector<const sim::ChipProfile *> Chips;
+  std::vector<stress::Environment> Envs;
+  std::vector<apps::AppKind> Apps;
+  unsigned Runs = 100;
+  uint64_t Seed = 1;
+
+  /// The paper's full Tab. 5 grid: 7 chips x 8 environments x 10 apps.
+  static CampaignConfig full();
+};
+
+/// One (chip, environment, application) cell of the grid.
+struct CampaignCell {
+  const sim::ChipProfile *Chip = nullptr;
+  stress::Environment Env;
+  apps::AppKind App = apps::AppKind::CbeHt;
+  CellResult Result;
+};
+
+/// A completed campaign: cells in chip-major (chip, env, app) order plus
+/// the per-(chip, env) Tab. 5 "a/b" summaries in matching order.
+struct CampaignReport {
+  CampaignConfig Config;
+  std::vector<CampaignCell> Cells;
+  std::vector<EnvironmentSummary> Summaries; ///< Chips.size()*Envs.size().
+
+  const EnvironmentSummary &summary(size_t ChipIdx, size_t EnvIdx) const {
+    return Summaries[ChipIdx * Config.Envs.size() + EnvIdx];
+  }
+};
+
+/// The seed of cell (Chip, Env, App) under campaign seed \p Seed, derived
+/// from canonical identities. Exposed so tests can cross-check cells
+/// against direct runCell calls.
+uint64_t campaignCellSeed(uint64_t Seed, const sim::ChipProfile &Chip,
+                          const stress::Environment &Env, apps::AppKind App);
+
+/// Runs the whole grid, distributing the flattened (cell, run) index space
+/// over \p Pool (serial when null).
+CampaignReport runCampaign(const CampaignConfig &Config,
+                           ThreadPool *Pool = nullptr);
+
+/// Renders the report as JSON ("gpuwmm-campaign-v1"): the grid, every
+/// cell's counts, and the Tab. 5 summaries. Intentionally contains no
+/// wall-clock or host information so output is byte-stable across
+/// machines and job counts.
+void writeCampaignJson(const CampaignReport &Report, std::ostream &OS);
+
+} // namespace harness
+} // namespace gpuwmm
+
+#endif // GPUWMM_HARNESS_CAMPAIGN_H

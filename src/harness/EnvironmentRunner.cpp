@@ -2,35 +2,73 @@
 
 #include "harness/EnvironmentRunner.h"
 
+#include <vector>
+
 using namespace gpuwmm;
 using namespace gpuwmm::harness;
+
+namespace {
+
+/// Runs one application execution and returns its verdict. Pure in its
+/// arguments: the parallel engine's unit of work.
+apps::AppVerdict runOne(apps::AppKind App, const sim::ChipProfile &Chip,
+                        const stress::Environment &Env,
+                        const stress::TunedStressParams &Tuned,
+                        uint64_t RunSeed) {
+  return apps::runApplicationOnce(App, Chip, Env, Tuned, /*Policy=*/nullptr,
+                                  RunSeed);
+}
+
+/// Folds per-run verdicts into a CellResult. The fold is a commutative
+/// count, but we still reduce in index order so the accumulation is the
+/// same expression serial execution evaluates.
+void accumulate(CellResult &Cell, apps::AppVerdict V) {
+  if (apps::isErroneous(V))
+    ++Cell.Errors;
+  if (V == apps::AppVerdict::Timeout)
+    ++Cell.Timeouts;
+}
+
+} // namespace
 
 CellResult harness::runCell(apps::AppKind App, const sim::ChipProfile &Chip,
                             const stress::Environment &Env,
                             const stress::TunedStressParams &Tuned,
-                            unsigned Runs, uint64_t Seed) {
+                            unsigned Runs, uint64_t Seed, ThreadPool *Pool) {
   CellResult Cell;
   Cell.Runs = Runs;
-  Rng Master(Seed);
-  for (unsigned I = 0; I != Runs; ++I) {
-    const apps::AppVerdict V = apps::runApplicationOnce(
-        App, Chip, Env, Tuned, /*Policy=*/nullptr, Master.fork(I).next());
-    if (apps::isErroneous(V))
-      ++Cell.Errors;
-    if (V == apps::AppVerdict::Timeout)
-      ++Cell.Timeouts;
-  }
+  std::vector<apps::AppVerdict> Verdicts(Runs);
+  parallelFor(Pool, Runs, [&](size_t I) {
+    Verdicts[I] = runOne(App, Chip, Env, Tuned,
+                         Rng::deriveStream(Seed, static_cast<uint64_t>(I)));
+  });
+  for (apps::AppVerdict V : Verdicts)
+    accumulate(Cell, V);
   return Cell;
 }
 
 EnvironmentSummary harness::runEnvironmentSummary(
     const sim::ChipProfile &Chip, const stress::Environment &Env,
-    const stress::TunedStressParams &Tuned, unsigned Runs, uint64_t Seed) {
+    const stress::TunedStressParams &Tuned, unsigned Runs, uint64_t Seed,
+    ThreadPool *Pool) {
+  const size_t NumApps = apps::AllAppKinds.size();
+  // Flatten (app, run) into one index space so small per-app run counts
+  // still fill every worker.
+  std::vector<apps::AppVerdict> Verdicts(NumApps * Runs);
+  parallelFor(Pool, Verdicts.size(), [&](size_t I) {
+    const size_t A = I / Runs;
+    const uint64_t CellSeed = Rng::deriveStream(Seed, static_cast<uint64_t>(A));
+    Verdicts[I] =
+        runOne(apps::AllAppKinds[A], Chip, Env, Tuned,
+               Rng::deriveStream(CellSeed, static_cast<uint64_t>(I % Runs)));
+  });
+
   EnvironmentSummary Summary;
-  for (apps::AppKind App : apps::AllAppKinds) {
-    const CellResult Cell =
-        runCell(App, Chip, Env, Tuned, Runs,
-                Seed * 1315423911u + static_cast<uint64_t>(App));
+  for (size_t A = 0; A != NumApps; ++A) {
+    CellResult Cell;
+    Cell.Runs = Runs;
+    for (unsigned I = 0; I != Runs; ++I)
+      accumulate(Cell, Verdicts[A * Runs + I]);
     Summary.AppsWithErrors += Cell.observed();
     Summary.AppsEffective += Cell.effective();
   }

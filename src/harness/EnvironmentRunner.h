@@ -12,6 +12,11 @@
 /// "effective" for a chip/application pair when errors appear in more than
 /// 5% of executions.
 ///
+/// Every execution's seed is derived from (cell seed, run index) via
+/// Rng::deriveStream, so runs are independent cells of an index space and
+/// can execute on a ThreadPool with results bit-identical to serial
+/// execution (DESIGN.md Sec. 11).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef GPUWMM_HARNESS_ENVIRONMENTRUNNER_H
@@ -19,6 +24,7 @@
 
 #include "apps/Application.h"
 #include "stress/Environment.h"
+#include "support/ThreadPool.h"
 
 namespace gpuwmm {
 namespace harness {
@@ -43,6 +49,10 @@ struct CellResult {
                      : static_cast<double>(Errors) /
                            static_cast<double>(Runs);
   }
+
+  bool operator==(const CellResult &O) const {
+    return Runs == O.Runs && Errors == O.Errors && Timeouts == O.Timeouts;
+  }
 };
 
 /// Summary over the ten applications for one (chip, environment) pair, as
@@ -50,22 +60,31 @@ struct CellResult {
 struct EnvironmentSummary {
   unsigned AppsWithErrors = 0; ///< b: applications with any erroneous run.
   unsigned AppsEffective = 0;  ///< a: applications above the 5% threshold.
+
+  bool operator==(const EnvironmentSummary &O) const {
+    return AppsWithErrors == O.AppsWithErrors &&
+           AppsEffective == O.AppsEffective;
+  }
 };
 
 /// Runs \p Runs executions of one cell. Fences are as shipped: no inserted
-/// fences; built-in fences enabled unless the app is a -nf variant.
+/// fences; built-in fences enabled unless the app is a -nf variant. Run I
+/// executes with seed deriveStream(Seed, I); when \p Pool is non-null the
+/// runs are distributed over it (same result for any job count).
 CellResult runCell(apps::AppKind App, const sim::ChipProfile &Chip,
                    const stress::Environment &Env,
                    const stress::TunedStressParams &Tuned, unsigned Runs,
-                   uint64_t Seed);
+                   uint64_t Seed, ThreadPool *Pool = nullptr);
 
 /// Runs a full Tab. 5 row cell: all ten applications for one
-/// (chip, environment) pair.
+/// (chip, environment) pair. Application A's cell runs with seed
+/// deriveStream(Seed, index of A in AllAppKinds); the (app, run) index
+/// space is flattened so a pool is kept busy across app boundaries.
 EnvironmentSummary
 runEnvironmentSummary(const sim::ChipProfile &Chip,
                       const stress::Environment &Env,
                       const stress::TunedStressParams &Tuned, unsigned Runs,
-                      uint64_t Seed);
+                      uint64_t Seed, ThreadPool *Pool = nullptr);
 
 } // namespace harness
 } // namespace gpuwmm

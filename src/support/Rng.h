@@ -98,11 +98,26 @@ public:
   /// never on how many numbers have been drawn, so run K of an experiment is
   /// reproducible in isolation.
   Rng fork(uint64_t StreamId) const {
-    // Mix the preserved seed with the stream id through splitmix64 for
-    // avalanche; the result is independent of how many numbers this
-    // generator has produced.
-    uint64_t X = SeedMaterial ^ (0x9e3779b97f4a7c15ULL * (StreamId + 1));
-    return Rng(splitmix64(X));
+    return Rng(deriveStream(SeedMaterial, StreamId));
+  }
+
+  /// Derives the seed of independent stream \p StreamIndex of \p BaseSeed.
+  ///
+  /// A pure function (SplitMix-style double avalanche), so streams can be
+  /// instantiated in any order, on any thread, without shared state: this
+  /// is the primitive behind the parallel engine's determinism contract
+  /// (DESIGN.md Sec. 11). Distinct (BaseSeed, StreamIndex) pairs yield
+  /// decorrelated generators; unlike `Seed + I`-style offsets, nearby
+  /// indices share no structure. Layers compose it hierarchically, e.g.
+  /// deriveStream(deriveStream(Seed, Cell), Run).
+  static uint64_t deriveStream(uint64_t BaseSeed, uint64_t StreamIndex) {
+    // Whiten the base first so BaseSeed pairs that differ only in low bits
+    // (common for user-chosen seeds) land in unrelated stream families,
+    // then mix the stream index through a second avalanche round.
+    uint64_t X = BaseSeed;
+    const uint64_t Whitened = splitmix64(X);
+    X = Whitened ^ (0x9e3779b97f4a7c15ULL * (StreamIndex + 1));
+    return splitmix64(X);
   }
 
   /// Draws K distinct values from [0, Bound) in selection order.

@@ -1,0 +1,103 @@
+//===- support/ThreadPool.cpp - Host-level parallel execution ----------------===//
+
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+using namespace gpuwmm;
+
+unsigned ThreadPool::defaultJobs() {
+  if (const char *Env = std::getenv("GPUWMM_JOBS")) {
+    const long Jobs = std::strtol(Env, nullptr, 10);
+    if (Jobs > 0)
+      return static_cast<unsigned>(Jobs);
+  }
+  const unsigned HW = std::thread::hardware_concurrency();
+  return HW == 0 ? 1 : HW;
+}
+
+ThreadPool::ThreadPool(unsigned Jobs)
+    : NumJobs(Jobs == 0 ? defaultJobs() : Jobs) {
+  Workers.reserve(NumJobs - 1);
+  for (unsigned I = 1; I != NumJobs; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Stopping = true;
+  }
+  WorkReady.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void ThreadPool::runBatch(const std::function<void(size_t)> &Body,
+                          size_t N) {
+  for (;;) {
+    const size_t I = NextIndex.fetch_add(1, std::memory_order_relaxed);
+    if (I >= N)
+      return;
+    Body(I);
+  }
+}
+
+void ThreadPool::workerLoop() {
+  uint64_t SeenGeneration = 0;
+  std::unique_lock<std::mutex> Lock(Mutex);
+  for (;;) {
+    WorkReady.wait(Lock, [&] {
+      return Stopping || Generation != SeenGeneration;
+    });
+    if (Stopping)
+      return;
+    SeenGeneration = Generation;
+    // Small batches enrol only min(jobs, N) participants: a worker that
+    // finds no slot left goes straight back to sleep and is never on the
+    // submitting thread's critical path.
+    if (SlotsLeft == 0)
+      continue;
+    --SlotsLeft;
+    const std::function<void(size_t)> *B = Body;
+    const size_t N = BatchSize;
+    Lock.unlock();
+    runBatch(*B, N);
+    Lock.lock();
+    // A batch ends only once every enrolled thread has drained the claim
+    // counter, so a late-waking participant can never claim into the
+    // next batch (and non-participants never touch the counter at all).
+    if (--Pending == 0)
+      BatchDone.notify_all();
+  }
+}
+
+void ThreadPool::parallelFor(size_t N,
+                             const std::function<void(size_t)> &Body) {
+  if (N == 0)
+    return;
+  if (NumJobs == 1 || N == 1) {
+    for (size_t I = 0; I != N; ++I)
+      Body(I);
+    return;
+  }
+  const size_t Participants = std::min<size_t>(NumJobs, N);
+  std::unique_lock<std::mutex> Lock(Mutex);
+  this->Body = &Body;
+  BatchSize = N;
+  NextIndex.store(0, std::memory_order_relaxed);
+  Pending = Participants;
+  SlotsLeft = Participants - 1; // The submitter takes one slot itself.
+  ++Generation;
+  WorkReady.notify_all();
+  Lock.unlock();
+
+  runBatch(Body, N);
+
+  Lock.lock();
+  if (--Pending != 0)
+    BatchDone.wait(Lock, [&] { return Pending == 0; });
+  this->Body = nullptr;
+  BatchSize = 0;
+}

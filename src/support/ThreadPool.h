@@ -1,0 +1,103 @@
+//===- support/ThreadPool.h - Host-level parallel execution ----*- C++ -*-===//
+//
+// Part of the gpuwmm project, a reproduction of "Exposing Errors Related to
+// Weak Memory in GPU Applications" (Sorensen & Donaldson, PLDI 2016).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A simple shared-queue thread pool driving index-space parallel loops.
+///
+/// The paper's empirical pipeline is embarrassingly parallel: Tab. 5 alone
+/// is a chip x environment x application grid of independent cells, and
+/// every tuning sweep, fence-insertion trial and fuzzing batch decomposes
+/// the same way. The pool runs such index spaces across worker threads.
+///
+/// Determinism contract (see DESIGN.md Sec. 11): callers must make each
+/// index's work a pure function of per-index inputs — in this codebase,
+/// an RNG stream derived via Rng::deriveStream — and write results only to
+/// the index's own slot. Under that discipline results are bit-identical
+/// for every job count, so `--jobs` is purely a wall-clock knob.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUWMM_SUPPORT_THREADPOOL_H
+#define GPUWMM_SUPPORT_THREADPOOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gpuwmm {
+
+/// A fixed-size pool of worker threads executing one parallel loop at a
+/// time. Workers pull indices from a shared atomic counter (a shared
+/// queue of indices, without the queue allocation); the submitting thread
+/// participates too, so `ThreadPool(1)` spawns no threads at all and runs
+/// every loop inline — the serial reference the determinism tests compare
+/// against.
+class ThreadPool {
+public:
+  /// Creates a pool executing loops on \p Jobs threads (including the
+  /// caller). Jobs == 0 means defaultJobs().
+  explicit ThreadPool(unsigned Jobs = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// The number of threads loops run on (>= 1).
+  unsigned jobs() const { return NumJobs; }
+
+  /// Runs Body(0) .. Body(N-1), each exactly once, distributed over the
+  /// pool. Blocks until all indices have completed. Body must not throw
+  /// and must not call parallelFor on the same pool (no nesting). With
+  /// jobs() == 1 or N <= 1 the loop runs inline on the caller.
+  void parallelFor(size_t N, const std::function<void(size_t)> &Body);
+
+  /// The default job count: the GPUWMM_JOBS environment variable when set
+  /// to a positive integer, otherwise std::thread::hardware_concurrency()
+  /// (with a floor of 1).
+  static unsigned defaultJobs();
+
+private:
+  void workerLoop();
+  void runBatch(const std::function<void(size_t)> &Body, size_t N);
+
+  const unsigned NumJobs;
+  std::vector<std::thread> Workers;
+
+  // Batch state, published under Mutex; indices are claimed lock-free.
+  std::mutex Mutex;
+  std::condition_variable WorkReady;
+  std::condition_variable BatchDone;
+  const std::function<void(size_t)> *Body = nullptr;
+  size_t BatchSize = 0;
+  std::atomic<size_t> NextIndex{0};
+  size_t Pending = 0;   ///< Enrolled threads still draining this batch.
+  size_t SlotsLeft = 0; ///< Worker enrolment slots left: min(jobs, N) - 1.
+  uint64_t Generation = 0; ///< Bumped per batch so workers wake exactly once.
+  bool Stopping = false;
+};
+
+/// Null-tolerant loop dispatch: every layer that takes an optional pool
+/// funnels through this one helper, so serial fallback behaviour cannot
+/// drift between call sites.
+inline void parallelFor(ThreadPool *Pool, size_t N,
+                        const std::function<void(size_t)> &Body) {
+  if (Pool) {
+    Pool->parallelFor(N, Body);
+    return;
+  }
+  for (size_t I = 0; I != N; ++I)
+    Body(I);
+}
+
+} // namespace gpuwmm
+
+#endif // GPUWMM_SUPPORT_THREADPOOL_H

@@ -17,26 +17,35 @@ std::vector<unsigned> PatchFinder::defaultDistances() {
   return {0, 16, 32, 48, 64, 96, 128};
 }
 
-PatchScan PatchFinder::scan(const Config &Cfg) {
+PatchScan PatchFinder::scan(const Config &Cfg, ThreadPool *Pool) {
   PatchScan Scan;
   Scan.Distances =
       Cfg.Distances.empty() ? defaultDistances() : Cfg.Distances;
   Scan.NumLocations = Cfg.NumLocations;
   Scan.Executions = Cfg.Executions;
   Scan.Hist.resize(AllLitmusKinds.size());
-
   for (size_t K = 0; K != AllLitmusKinds.size(); ++K) {
     Scan.Hist[K].resize(Scan.Distances.size());
-    for (size_t D = 0; D != Scan.Distances.size(); ++D) {
-      auto &Row = Scan.Hist[K][D];
+    for (auto &Row : Scan.Hist[K])
       Row.resize(Cfg.NumLocations);
-      LitmusInstance T{AllLitmusKinds[K], Scan.Distances[D]};
-      for (unsigned L = 0; L != Cfg.NumLocations; ++L) {
-        const auto S = LitmusRunner::MicroStress::at(Cfg.Seq, L);
-        Row[L] = Runner.countWeak(T, S, Cfg.Executions);
-      }
-    }
   }
+
+  // Flatten (kind, distance, location): each cell runs on a private
+  // litmus runner whose seed is derived from the cell's flat index, and
+  // writes only its own histogram slot.
+  const size_t NumCells =
+      AllLitmusKinds.size() * Scan.Distances.size() * Cfg.NumLocations;
+  gpuwmm::parallelFor(Pool, NumCells, [&](size_t I) {
+    const size_t K = I / (Scan.Distances.size() * Cfg.NumLocations);
+    const size_t D = I / Cfg.NumLocations % Scan.Distances.size();
+    const unsigned L = static_cast<unsigned>(I % Cfg.NumLocations);
+    LitmusRunner Cell(Chip, Rng::deriveStream(Seed, I));
+    Scan.Hist[K][D][L] =
+        Cell.countWeak({AllLitmusKinds[K], Scan.Distances[D]},
+                       LitmusRunner::MicroStress::at(Cfg.Seq, L),
+                       Cfg.Executions);
+  });
+  Execs += static_cast<uint64_t>(NumCells) * Cfg.Executions;
   return Scan;
 }
 

@@ -19,6 +19,7 @@
 
 #include "litmus/Litmus.h"
 #include "stress/AccessSequence.h"
+#include "support/ThreadPool.h"
 
 #include <map>
 #include <optional>
@@ -72,10 +73,15 @@ public:
   static std::vector<unsigned> defaultDistances();
 
   PatchFinder(const sim::ChipProfile &Chip, uint64_t Seed)
-      : Chip(Chip), Runner(Chip, Seed) {}
+      : Chip(Chip), Seed(Seed) {}
 
   /// Runs the full sweep (|kinds| * |Distances| * L * C executions).
-  PatchScan scan(const Config &Cfg);
+  ///
+  /// Every (test, distance, location) cell executes on its own litmus
+  /// runner seeded via Rng::deriveStream of the cell's flat index, so the
+  /// sweep distributes over \p Pool with results bit-identical to serial
+  /// execution, and repeated scans of one finder reproduce each other.
+  PatchScan scan(const Config &Cfg, ThreadPool *Pool = nullptr);
 
   /// Extracts eps-patches from one histogram.
   static std::vector<EpsPatch> epsPatches(const std::vector<unsigned> &Hist,
@@ -88,11 +94,12 @@ public:
   /// Applies the paper's critical-patch-size rule to a scan.
   static PatchDecision decide(const PatchScan &Scan, unsigned Eps);
 
-  uint64_t executions() const { return Runner.executions(); }
+  uint64_t executions() const { return Execs; }
 
 private:
   const sim::ChipProfile &Chip;
-  litmus::LitmusRunner Runner;
+  uint64_t Seed;
+  uint64_t Execs = 0;
 };
 
 } // namespace tuning

@@ -12,7 +12,8 @@ using litmus::LitmusInstance;
 using litmus::LitmusRunner;
 
 std::vector<SequenceScore> SequenceTuner::rankAll(unsigned PatchSize,
-                                                  const Config &Cfg) {
+                                                  const Config &Cfg,
+                                                  ThreadPool *Pool) {
   assert(PatchSize > 0 && "patch size required");
   std::vector<unsigned> Distances = Cfg.Distances;
   if (Distances.empty())
@@ -25,24 +26,29 @@ std::vector<SequenceScore> SequenceTuner::rankAll(unsigned PatchSize,
   for (unsigned L = 0; L < Cfg.NumLocations; L += PatchSize)
     Locations.push_back(L);
 
-  std::vector<SequenceScore> Ranked;
-  for (const stress::AccessSequence &Seq :
-       stress::AccessSequence::enumerateAll()) {
-    SequenceScore Score;
-    Score.Seq = Seq;
+  // One independent trial per sequence, on a runner seeded from the
+  // sequence's index — trials are order-free, so they distribute over the
+  // pool without changing any score.
+  const auto All = stress::AccessSequence::enumerateAll();
+  std::vector<SequenceScore> Ranked(All.size());
+  gpuwmm::parallelFor(Pool, All.size(), [&](size_t I) {
+    SequenceScore &Score = Ranked[I];
+    Score.Seq = All[I];
+    LitmusRunner Runner(Chip, Rng::deriveStream(Seed, I));
     for (size_t K = 0; K != AllLitmusKinds.size(); ++K) {
       uint64_t Total = 0;
       for (unsigned D : Distances) {
         LitmusInstance T{AllLitmusKinds[K], D};
         for (unsigned Loc : Locations) {
-          const auto S = LitmusRunner::MicroStress::at(Seq, Loc);
+          const auto S = LitmusRunner::MicroStress::at(All[I], Loc);
           Total += Runner.countWeak(T, S, Cfg.Executions);
         }
       }
       Score.Scores[K] = Total;
     }
-    Ranked.push_back(Score);
-  }
+  });
+  Execs += static_cast<uint64_t>(All.size()) * AllLitmusKinds.size() *
+           Distances.size() * Locations.size() * Cfg.Executions;
   return Ranked;
 }
 

@@ -19,6 +19,7 @@
 
 #include "litmus/Litmus.h"
 #include "stress/AccessSequence.h"
+#include "support/ThreadPool.h"
 #include "tuning/Pareto.h"
 
 #include <vector>
@@ -47,10 +48,14 @@ public:
   };
 
   SequenceTuner(const sim::ChipProfile &Chip, uint64_t Seed)
-      : Chip(Chip), Runner(Chip, Seed) {}
+      : Chip(Chip), Seed(Seed) {}
 
-  /// Scores all 63 sequences given the chip's critical patch size.
-  std::vector<SequenceScore> rankAll(unsigned PatchSize, const Config &Cfg);
+  /// Scores all 63 sequences given the chip's critical patch size. Each
+  /// sequence is an independent trial on its own derived RNG stream, so
+  /// the ranking distributes over \p Pool with results bit-identical to
+  /// serial execution.
+  std::vector<SequenceScore> rankAll(unsigned PatchSize, const Config &Cfg,
+                                     ThreadPool *Pool = nullptr);
 
   /// Pareto selection with the paper's tie-break.
   static stress::AccessSequence
@@ -61,11 +66,12 @@ public:
   static std::vector<SequenceScore>
   sortedByKind(std::vector<SequenceScore> Ranked, unsigned KindIdx);
 
-  uint64_t executions() const { return Runner.executions(); }
+  uint64_t executions() const { return Execs; }
 
 private:
   const sim::ChipProfile &Chip;
-  litmus::LitmusRunner Runner;
+  uint64_t Seed;
+  uint64_t Execs = 0;
 };
 
 } // namespace tuning

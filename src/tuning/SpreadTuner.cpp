@@ -12,17 +12,24 @@ using litmus::LitmusRunner;
 
 std::vector<SpreadScore> SpreadTuner::rankAll(unsigned PatchSize,
                                               stress::AccessSequence Seq,
-                                              const Config &Cfg) {
+                                              const Config &Cfg,
+                                              ThreadPool *Pool) {
   assert(PatchSize > 0 && "patch size required");
   std::vector<unsigned> Distances = Cfg.Distances;
   if (Distances.empty())
     Distances = {PatchSize, 2 * PatchSize, 3 * PatchSize,
                  3 * PatchSize + PatchSize / 2};
 
-  std::vector<SpreadScore> Ranked;
-  for (unsigned M = 1; M <= Cfg.MaxSpread; ++M) {
-    SpreadScore Score;
+  std::vector<SpreadScore> Ranked(Cfg.MaxSpread);
+  gpuwmm::parallelFor(Pool, Cfg.MaxSpread, [&](size_t I) {
+    const unsigned M = static_cast<unsigned>(I) + 1;
+    SpreadScore &Score = Ranked[I];
     Score.Spread = M;
+    // Independent streams per spread: one for the litmus executions, one
+    // for the random region subsets.
+    const uint64_t SpreadSeed = Rng::deriveStream(Seed, I);
+    LitmusRunner Runner(Chip, Rng::deriveStream(SpreadSeed, 0));
+    Rng SubsetRng(Rng::deriveStream(SpreadSeed, 1));
     for (size_t K = 0; K != AllLitmusKinds.size(); ++K) {
       uint64_t Total = 0;
       for (unsigned D : Distances) {
@@ -40,8 +47,9 @@ std::vector<SpreadScore> SpreadTuner::rankAll(unsigned PatchSize,
       }
       Score.Scores[K] = Total;
     }
-    Ranked.push_back(Score);
-  }
+  });
+  Execs += static_cast<uint64_t>(Cfg.MaxSpread) * AllLitmusKinds.size() *
+           Distances.size() * Cfg.Executions;
   return Ranked;
 }
 

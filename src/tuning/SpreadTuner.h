@@ -19,6 +19,7 @@
 
 #include "litmus/Litmus.h"
 #include "stress/AccessSequence.h"
+#include "support/ThreadPool.h"
 #include "tuning/Pareto.h"
 
 #include <vector>
@@ -43,22 +44,27 @@ public:
   };
 
   SpreadTuner(const sim::ChipProfile &Chip, uint64_t Seed)
-      : Chip(Chip), Runner(Chip, Seed), SubsetRng(Seed ^ 0x5eedu) {}
+      : Chip(Chip), Seed(Seed) {}
 
+  /// Scores every spread 1..MaxSpread. Each spread is an independent
+  /// trial with its own derived runner and subset-sampling streams, so
+  /// the ranking distributes over \p Pool with results bit-identical to
+  /// serial execution.
   std::vector<SpreadScore> rankAll(unsigned PatchSize,
                                    stress::AccessSequence Seq,
-                                   const Config &Cfg);
+                                   const Config &Cfg,
+                                   ThreadPool *Pool = nullptr);
 
   /// Pareto selection (the paper observed a unique winner, no tie-break
   /// needed; we reuse the standard selection for robustness).
   static unsigned selectBest(const std::vector<SpreadScore> &Ranked);
 
-  uint64_t executions() const { return Runner.executions(); }
+  uint64_t executions() const { return Execs; }
 
 private:
   const sim::ChipProfile &Chip;
-  litmus::LitmusRunner Runner;
-  Rng SubsetRng;
+  uint64_t Seed;
+  uint64_t Execs = 0;
 };
 
 } // namespace tuning

@@ -8,7 +8,7 @@
 using namespace gpuwmm;
 using namespace gpuwmm::tuning;
 
-TuningResult Tuner::tune(double Scale) {
+TuningResult Tuner::tune(double Scale, ThreadPool *Pool) {
   const auto Start = std::chrono::steady_clock::now();
   TuningResult Result;
 
@@ -17,11 +17,11 @@ TuningResult Tuner::tune(double Scale) {
   };
 
   // --- Stage 1: critical patch size (Sec. 3.2) ----------------------------
-  PatchFinder PF(Chip, Seed * 3 + 1);
+  PatchFinder PF(Chip, Rng::deriveStream(Seed, 1));
   PatchFinder::Config PFCfg;
   PFCfg.NumLocations = 256;
   PFCfg.Executions = Scaled(50);
-  Result.Patch = PatchFinder::decide(PF.scan(PFCfg), PFCfg.Eps);
+  Result.Patch = PatchFinder::decide(PF.scan(PFCfg, Pool), PFCfg.Eps);
   unsigned P = 0;
   if (Result.Patch.CriticalPatchSize)
     P = *Result.Patch.CriticalPatchSize;
@@ -32,19 +32,19 @@ TuningResult Tuner::tune(double Scale) {
   Result.Params.PatchWords = P;
 
   // --- Stage 2: access sequence (Sec. 3.3) --------------------------------
-  SequenceTuner ST(Chip, Seed * 3 + 2);
+  SequenceTuner ST(Chip, Rng::deriveStream(Seed, 2));
   SequenceTuner::Config STCfg;
   STCfg.NumLocations = 256;
   STCfg.Executions = Scaled(30);
-  Result.SequenceRanking = ST.rankAll(P, STCfg);
+  Result.SequenceRanking = ST.rankAll(P, STCfg, Pool);
   Result.Params.Seq = SequenceTuner::selectBest(Result.SequenceRanking);
 
   // --- Stage 3: spread (Sec. 3.4) -------------------------------------------
-  SpreadTuner SpT(Chip, Seed * 3 + 3);
+  SpreadTuner SpT(Chip, Rng::deriveStream(Seed, 3));
   SpreadTuner::Config SpCfg;
   SpCfg.MaxSpread = 16;
   SpCfg.Executions = Scaled(500);
-  Result.SpreadRanking = SpT.rankAll(P, Result.Params.Seq, SpCfg);
+  Result.SpreadRanking = SpT.rankAll(P, Result.Params.Seq, SpCfg, Pool);
   Result.Params.Spread = SpreadTuner::selectBest(Result.SpreadRanking);
   Result.Params.ScratchRegions = 64;
 

@@ -41,7 +41,9 @@ public:
   Tuner(const sim::ChipProfile &Chip, uint64_t Seed)
       : Chip(Chip), Seed(Seed) {}
 
-  TuningResult tune(double Scale = 1.0);
+  /// Each stage draws from a stream derived from (seed, stage) and sweeps
+  /// in parallel over \p Pool; results are identical for any job count.
+  TuningResult tune(double Scale = 1.0, ThreadPool *Pool = nullptr);
 
 private:
   const sim::ChipProfile &Chip;

@@ -1,0 +1,78 @@
+# Smoke-tests the `gpuwmm campaign` CLI: runs a tiny grid and validates
+# that the JSON report parses and contains every grid cell, using CMake's
+# native string(JSON) parser (no Python/network dependency).
+#
+# Usage:
+#   cmake -DGPUWMM_BIN=<path-to-gpuwmm> -DOUT=<scratch.json>
+#         -P ValidateCampaignJson.cmake
+
+if(NOT GPUWMM_BIN OR NOT OUT)
+  message(FATAL_ERROR "pass -DGPUWMM_BIN=... and -DOUT=...")
+endif()
+
+set(CHIPS titan k20)
+set(ENVS no-str- sys-str+)
+set(APPS cbe-dot cbe-ht)
+list(JOIN CHIPS "," CHIPS_CSV)
+list(JOIN ENVS "," ENVS_CSV)
+list(JOIN APPS "," APPS_CSV)
+
+execute_process(
+  COMMAND "${GPUWMM_BIN}" campaign "--chips=${CHIPS_CSV}"
+          "--envs=${ENVS_CSV}" "--apps=${APPS_CSV}" --runs=10 --seed=3
+          --jobs=2 "--out=${OUT}"
+  RESULT_VARIABLE RV)
+if(NOT RV EQUAL 0)
+  message(FATAL_ERROR "gpuwmm campaign exited with ${RV}")
+endif()
+
+file(READ "${OUT}" REPORT)
+
+string(JSON SCHEMA ERROR_VARIABLE ERR GET "${REPORT}" schema)
+if(NOT SCHEMA STREQUAL "gpuwmm-campaign-v1")
+  message(FATAL_ERROR "bad or missing schema: ${SCHEMA} ${ERR}")
+endif()
+
+string(JSON NCELLS LENGTH "${REPORT}" cells)
+if(NOT NCELLS EQUAL 8) # 2 chips * 2 envs * 2 apps
+  message(FATAL_ERROR "expected 8 cells, got ${NCELLS}")
+endif()
+
+string(JSON NSUMMARIES LENGTH "${REPORT}" summaries)
+if(NOT NSUMMARIES EQUAL 4) # 2 chips * 2 envs
+  message(FATAL_ERROR "expected 4 summaries, got ${NSUMMARIES}")
+endif()
+
+# Collect the (chip, env, app) triple of every reported cell, checking
+# each cell carries well-formed counts.
+set(SEEN "")
+math(EXPR LAST "${NCELLS} - 1")
+foreach(I RANGE ${LAST})
+  string(JSON CCHIP GET "${REPORT}" cells ${I} chip)
+  string(JSON CENV GET "${REPORT}" cells ${I} env)
+  string(JSON CAPP GET "${REPORT}" cells ${I} app)
+  string(JSON CRUNS GET "${REPORT}" cells ${I} runs)
+  string(JSON CERRS GET "${REPORT}" cells ${I} errors)
+  if(NOT CRUNS EQUAL 10)
+    message(FATAL_ERROR "cell ${I}: expected 10 runs, got ${CRUNS}")
+  endif()
+  if(CERRS GREATER CRUNS)
+    message(FATAL_ERROR "cell ${I}: errors ${CERRS} > runs ${CRUNS}")
+  endif()
+  list(APPEND SEEN "${CCHIP}/${CENV}/${CAPP}")
+endforeach()
+
+# Every grid cell must be present exactly once.
+foreach(CHIP IN LISTS CHIPS)
+  foreach(ENV IN LISTS ENVS)
+    foreach(APP IN LISTS APPS)
+      set(KEY "${CHIP}/${ENV}/${APP}")
+      list(FIND SEEN "${KEY}" IDX)
+      if(IDX EQUAL -1)
+        message(FATAL_ERROR "missing grid cell ${KEY}")
+      endif()
+    endforeach()
+  endforeach()
+endforeach()
+
+message(STATUS "campaign JSON valid: ${NCELLS} cells, ${NSUMMARIES} summaries")

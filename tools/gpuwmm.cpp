@@ -5,21 +5,30 @@
 //
 // The command-line front end a user of the paper's tooling would reach
 // for: run litmus tests, tune a chip, test an application under an
-// environment, harden it via empirical fence insertion, or fuzz random
-// programs — all from one binary.
+// environment, harden it via empirical fence insertion, fuzz random
+// programs, or run the full Tab. 5 campaign — all from one binary.
+//
+// Every command accepts --jobs=N. Results are bit-identical for every N
+// (the parallel engine's determinism contract, DESIGN.md Sec. 11); the
+// flag only changes wall-clock time.
 //
 //===----------------------------------------------------------------------===//
 
 #include "fuzz/ProgramFuzzer.h"
 #include "harden/FenceInsertion.h"
+#include "harness/Campaign.h"
 #include "harness/EnvironmentRunner.h"
 #include "support/Options.h"
 #include "support/Table.h"
+#include "support/ThreadPool.h"
 #include "tuning/Tuner.h"
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 
 using namespace gpuwmm;
 
@@ -40,8 +49,12 @@ int usage() {
       "                                empirical fence insertion (Alg. 1)\n"
       "  fuzz    --chip [--programs] [--runs]\n"
       "                                random-program differential fuzzing\n"
+      "  campaign [--chips=a,b] [--envs=x,y] [--apps=p,q] [--runs] [--out]\n"
+      "                                the Tab. 5 grid; emits a JSON report\n"
       "\n"
-      "common options: --seed=N; GPUWMM_SCALE scales run counts globally\n");
+      "common options: --seed=N; --jobs=N worker threads (results are\n"
+      "identical for every N; default GPUWMM_JOBS or all cores);\n"
+      "GPUWMM_SCALE scales run counts globally\n");
   return 2;
 }
 
@@ -54,6 +67,24 @@ const sim::ChipProfile *chipOrDie(const Options &Opts) {
     std::exit(2);
   }
   return Chip;
+}
+
+/// The worker pool every subcommand draws from: --jobs, else GPUWMM_JOBS,
+/// else all cores.
+ThreadPool makePool(const Options &Opts) {
+  const int64_t Jobs = Opts.getInt("jobs", 0);
+  return ThreadPool(Jobs > 0 ? static_cast<unsigned>(Jobs) : 0);
+}
+
+/// Splits "a,b,c" into its elements; empty string -> empty vector.
+std::vector<std::string> splitCsv(const std::string &Csv) {
+  std::vector<std::string> Parts;
+  std::istringstream IS(Csv);
+  std::string Part;
+  while (std::getline(IS, Part, ','))
+    if (!Part.empty())
+      Parts.push_back(Part);
+  return Parts;
 }
 
 int cmdChips() {
@@ -120,15 +151,16 @@ int cmdLitmus(const Options &Opts) {
 
 int cmdTune(const Options &Opts) {
   const sim::ChipProfile *Chip = chipOrDie(Opts);
+  ThreadPool Pool = makePool(Opts);
   tuning::Tuner Tuner(*Chip, static_cast<uint64_t>(Opts.getInt("seed", 7)));
   const auto R = Tuner.tune(Opts.getDouble("scale", 1.0) *
-                            experimentScale());
+                            experimentScale(), &Pool);
   std::printf("%s: critical patch size %u, sequence \"%s\", spread %u "
-              "(%llu executions, %.1f s)\n",
+              "(%llu executions, %.1f s, %u jobs)\n",
               Chip->ShortName, R.Params.PatchWords,
               R.Params.Seq.str().c_str(), R.Params.Spread,
               static_cast<unsigned long long>(R.Executions),
-              R.WallSeconds);
+              R.WallSeconds, Pool.jobs());
   return 0;
 }
 
@@ -147,9 +179,10 @@ int cmdTest(const Options &Opts) {
   }
   const unsigned Runs =
       static_cast<unsigned>(Opts.getInt("runs", scaledCount(200)));
+  ThreadPool Pool = makePool(Opts);
   const auto Cell = harness::runCell(
       *App, *Chip, *Env, stress::TunedStressParams::paperDefaults(*Chip),
-      Runs, static_cast<uint64_t>(Opts.getInt("seed", 1)));
+      Runs, static_cast<uint64_t>(Opts.getInt("seed", 1)), &Pool);
   std::printf("%s on %s under %s: %u/%u erroneous (%u timeouts) -> %s\n",
               apps::appName(*App), Chip->ShortName, Env->name().c_str(),
               Cell.Errors, Cell.Runs, Cell.Timeouts,
@@ -168,9 +201,10 @@ int cmdHarden(const Options &Opts) {
   }
   const unsigned StableRuns = static_cast<unsigned>(
       Opts.getInt("stable-runs", scaledCount(300)));
+  ThreadPool Pool = makePool(Opts);
   harden::AppCheckOracle Oracle(
       *App, *Chip, static_cast<uint64_t>(Opts.getInt("seed", 1)),
-      StableRuns);
+      StableRuns, &Pool);
   const unsigned NumSites = apps::appNumSites(*App);
   const auto R = harden::empiricalFenceInsertion(
       sim::FencePolicy::all(NumSites), Oracle);
@@ -186,25 +220,98 @@ int cmdHarden(const Options &Opts) {
 
 int cmdFuzz(const Options &Opts) {
   const sim::ChipProfile *Chip = chipOrDie(Opts);
-  const unsigned Programs =
+  fuzz::BatchConfig Cfg;
+  Cfg.Programs =
       static_cast<unsigned>(Opts.getInt("programs", scaledCount(20)));
-  const unsigned Runs =
+  Cfg.RunsPerProgram =
       static_cast<unsigned>(Opts.getInt("runs", scaledCount(40)));
-  Rng Gen(static_cast<uint64_t>(Opts.getInt("seed", 1)));
+  ThreadPool Pool = makePool(Opts);
+  const auto Batch = fuzz::fuzzBatch(
+      *Chip, Cfg, static_cast<uint64_t>(Opts.getInt("seed", 1)), &Pool);
   unsigned WeakProgs = 0;
-  for (unsigned I = 0; I != Programs; ++I) {
-    const auto P = fuzz::Program::generate(Gen, 3, 5, false);
-    const auto R = fuzz::fuzzProgram(P, *Chip, Runs, Gen.next(), true);
+  for (size_t I = 0; I != Batch.size(); ++I) {
+    const fuzz::FuzzResult &R = Batch[I].R;
     if (R.WeakOutcomes == 0)
       continue;
     ++WeakProgs;
-    std::printf("program %u: %u/%u non-SC outcomes (%u distinct, SC set "
+    std::printf("program %zu: %u/%u non-SC outcomes (%u distinct, SC set "
                 "%zu)\n%s",
                 I, R.WeakOutcomes, R.Runs, R.DistinctWeak, R.ScSetSize,
-                P.str().c_str());
+                Batch[I].P.str().c_str());
   }
   std::printf("%u/%u programs exhibited weak outcomes under sys-str+\n",
-              WeakProgs, Programs);
+              WeakProgs, Cfg.Programs);
+  return 0;
+}
+
+int cmdCampaign(const Options &Opts) {
+  harness::CampaignConfig Config = harness::CampaignConfig::full();
+  if (Opts.has("chips")) {
+    Config.Chips.clear();
+    for (const std::string &Name : splitCsv(Opts.getString("chips", ""))) {
+      const sim::ChipProfile *Chip = sim::ChipProfile::lookup(Name);
+      if (!Chip) {
+        std::fprintf(stderr, "error: unknown chip '%s'\n", Name.c_str());
+        return 2;
+      }
+      Config.Chips.push_back(Chip);
+    }
+  }
+  if (Opts.has("envs")) {
+    Config.Envs.clear();
+    for (const std::string &Name : splitCsv(Opts.getString("envs", ""))) {
+      const auto Env = stress::Environment::parse(Name);
+      if (!Env) {
+        std::fprintf(stderr, "error: unknown environment '%s'\n",
+                     Name.c_str());
+        return 2;
+      }
+      Config.Envs.push_back(*Env);
+    }
+  }
+  if (Opts.has("apps")) {
+    Config.Apps.clear();
+    for (const std::string &Name : splitCsv(Opts.getString("apps", ""))) {
+      const auto App = apps::parseAppName(Name);
+      if (!App) {
+        std::fprintf(stderr, "error: unknown app '%s'\n", Name.c_str());
+        return 2;
+      }
+      Config.Apps.push_back(*App);
+    }
+  }
+  if (Config.Chips.empty() || Config.Envs.empty() || Config.Apps.empty()) {
+    std::fprintf(stderr, "error: empty campaign grid\n");
+    return 2;
+  }
+  Config.Runs =
+      static_cast<unsigned>(Opts.getInt("runs", scaledCount(100)));
+  Config.Seed = static_cast<uint64_t>(Opts.getInt("seed", 1));
+
+  ThreadPool Pool = makePool(Opts);
+  const auto Start = std::chrono::steady_clock::now();
+  const harness::CampaignReport Report =
+      harness::runCampaign(Config, &Pool);
+  const double WallSeconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
+          .count();
+
+  // Wall time goes to stderr only: the JSON report is byte-identical
+  // across machines and --jobs values for one seed.
+  std::fprintf(stderr, "campaign: %zu cells x %u runs in %.2f s (%u jobs)\n",
+               Report.Cells.size(), Config.Runs, WallSeconds, Pool.jobs());
+
+  const std::string Out = Opts.getString("out", "-");
+  if (Out == "-") {
+    harness::writeCampaignJson(Report, std::cout);
+    return 0;
+  }
+  std::ofstream OS(Out);
+  if (!OS) {
+    std::fprintf(stderr, "error: cannot write '%s'\n", Out.c_str());
+    return 1;
+  }
+  harness::writeCampaignJson(Report, OS);
   return 0;
 }
 
@@ -227,5 +334,7 @@ int main(int Argc, char **Argv) {
     return cmdHarden(Opts);
   if (!std::strcmp(Cmd, "fuzz"))
     return cmdFuzz(Opts);
+  if (!std::strcmp(Cmd, "campaign"))
+    return cmdCampaign(Opts);
   return usage();
 }

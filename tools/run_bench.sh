@@ -33,10 +33,16 @@ if [ "${#BENCHES[@]}" -eq 0 ]; then
   exit 2
 fi
 
+# Host parallelism context: bench_parallel_scaling (and any bench run
+# with GPUWMM_JOBS set) depends on it, so record it alongside the scale.
+NPROC="$(nproc 2>/dev/null || echo 1)"
+
 {
   printf '{\n'
   printf '  "schema": "gpuwmm-bench-v1",\n'
   printf '  "scale": "%s",\n' "${GPUWMM_SCALE:-1}"
+  printf '  "jobs": "%s",\n' "${GPUWMM_JOBS:-auto}"
+  printf '  "host_cores": %s,\n' "$NPROC"
   printf '  "results": [\n'
   first=1
   for b in "${BENCHES[@]}"; do
