@@ -1,0 +1,138 @@
+//===- bench/bench_context_reuse.cpp - Execution-engine reuse speedup --------===//
+//
+// Part of the gpuwmm project, a reproduction of "Exposing Errors Related to
+// Weak Memory in GPU Applications" (Sorensen & Donaldson, PLDI 2016).
+//
+// A/B-measures the reusable execution engine (DESIGN.md Sec. 12) on a
+// fixed Tab. 5 sub-grid, same seeds in both arms:
+//
+//  * fresh:  a brand-new ExecutionContext per run — every run pays the
+//    construction cost the pre-engine code paid per sim::Device (cold
+//    memory image, store buffers, async slots, scheduler containers).
+//  * reused: one ExecutionContext for all runs, reset(seed) between runs
+//    (dirty-address zeroing, recycled slot storage).
+//
+// Verdict sequences must be identical — the fresh-vs-reused half of the
+// determinism contract — and that identity is this benchmark's hard
+// failure condition. The speedup is the committed perf headline; a litmus
+// reuse throughput figure rides along for the Sec. 3 tuning hot path.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/Application.h"
+#include "litmus/Litmus.h"
+#include "support/Options.h"
+#include "support/Table.h"
+
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+using namespace gpuwmm;
+
+namespace {
+
+struct GridPoint {
+  apps::AppKind App;
+  const sim::ChipProfile *Chip;
+  stress::Environment Env;
+};
+
+double now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+} // namespace
+
+int main() {
+  // The sub-grid: two chips spanning both patch sizes, the tuned-stress
+  // environment the campaign leans on hardest, four representative apps
+  // (mutex, non-blocking queue, reduction handshake, no-fence variant).
+  const sim::ChipProfile *Titan = sim::ChipProfile::lookup("titan");
+  const sim::ChipProfile *Gtx980 = sim::ChipProfile::lookup("980");
+  const stress::Environment SysPlus{stress::StressKind::Sys, true};
+  std::vector<GridPoint> Grid;
+  for (const sim::ChipProfile *Chip : {Titan, Gtx980})
+    for (apps::AppKind App :
+         {apps::AppKind::CbeDot, apps::AppKind::CtOctree,
+          apps::AppKind::SdkRed, apps::AppKind::CubScanNf})
+      Grid.push_back({App, Chip, SysPlus});
+
+  const unsigned Runs = scaledCount(60);
+  const uint64_t Seed = 42;
+  std::printf("context reuse: %zu grid points x %u runs, seed %llu\n\n",
+              Grid.size(), Runs, static_cast<unsigned long long>(Seed));
+
+  // --- Arm A: fresh context per run ----------------------------------------
+  std::vector<apps::AppVerdict> FreshVerdicts;
+  const double FreshStart = now();
+  for (size_t G = 0; G != Grid.size(); ++G) {
+    const auto Tuned =
+        stress::TunedStressParams::paperDefaults(*Grid[G].Chip);
+    for (unsigned I = 0; I != Runs; ++I) {
+      sim::ExecutionContext Ctx; // Cold state, every run.
+      FreshVerdicts.push_back(apps::runApplicationOnce(
+          Ctx, Grid[G].App, *Grid[G].Chip, Grid[G].Env, Tuned,
+          /*Policy=*/nullptr,
+          Rng::deriveStream(Rng::deriveStream(Seed, G), I)));
+    }
+  }
+  const double FreshSeconds = now() - FreshStart;
+
+  // --- Arm B: one reused context -------------------------------------------
+  std::vector<apps::AppVerdict> ReusedVerdicts;
+  sim::ExecutionContext Ctx;
+  const double ReusedStart = now();
+  for (size_t G = 0; G != Grid.size(); ++G) {
+    const auto Tuned =
+        stress::TunedStressParams::paperDefaults(*Grid[G].Chip);
+    for (unsigned I = 0; I != Runs; ++I)
+      ReusedVerdicts.push_back(apps::runApplicationOnce(
+          Ctx, Grid[G].App, *Grid[G].Chip, Grid[G].Env, Tuned,
+          /*Policy=*/nullptr,
+          Rng::deriveStream(Rng::deriveStream(Seed, G), I)));
+  }
+  const double ReusedSeconds = now() - ReusedStart;
+
+  const bool Identical = FreshVerdicts == ReusedVerdicts;
+  const double Speedup = ReusedSeconds > 0.0 ? FreshSeconds / ReusedSeconds
+                                             : 0.0;
+
+  Table T({"arm", "seconds", "us/run", "identical"});
+  const double TotalRuns = static_cast<double>(Grid.size()) * Runs;
+  T.addRow({"fresh-per-run", formatDouble(FreshSeconds, 3),
+            formatDouble(1e6 * FreshSeconds / TotalRuns, 1), "-"});
+  T.addRow({"reused-context", formatDouble(ReusedSeconds, 3),
+            formatDouble(1e6 * ReusedSeconds / TotalRuns, 1),
+            Identical ? "yes" : "NO"});
+  T.print(std::cout);
+  std::printf("\napp-layer speedup from engine reuse: %.2fx\n", Speedup);
+
+  // Litmus tuning hot path: the runner's leased context makes countWeak
+  // allocation-free per run; report its throughput for the record.
+  litmus::LitmusRunner Runner(*Titan, Seed);
+  const unsigned LitmusRuns = scaledCount(4000);
+  const auto Tuned = stress::TunedStressParams::paperDefaults(*Titan);
+  const double LitmusStart = now();
+  const unsigned Weak = Runner.countWeak(
+      {litmus::LitmusKind::MP, 2 * Titan->PatchSizeWords},
+      litmus::LitmusRunner::MicroStress::at(Tuned.Seq, 0), LitmusRuns);
+  const double LitmusSeconds = now() - LitmusStart;
+  std::printf("litmus reused-context throughput: %.0f runs/s "
+              "(%u/%u weak)\n",
+              LitmusRuns / LitmusSeconds, Weak, LitmusRuns);
+
+  std::printf("\n{\"bench\": \"context_reuse\", \"grid_points\": %zu, "
+              "\"runs_per_point\": %u, \"fresh_seconds\": %.3f, "
+              "\"reused_seconds\": %.3f, \"speedup\": %.3f, "
+              "\"litmus_runs_per_sec\": %.0f, \"identical\": %s}\n",
+              Grid.size(), Runs, FreshSeconds, ReusedSeconds, Speedup,
+              LitmusRuns / LitmusSeconds, Identical ? "true" : "false");
+
+  // Fresh-vs-reused identity is the determinism contract: hard-fail on
+  // divergence. The speedup is hardware-dependent and only reported.
+  return Identical ? 0 : 1;
+}

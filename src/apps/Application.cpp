@@ -91,13 +91,14 @@ const char *apps::appVerdictName(AppVerdict V) {
   return "unknown";
 }
 
-AppVerdict apps::runApplicationOnce(AppKind K, const sim::ChipProfile &Chip,
+AppVerdict apps::runApplicationOnce(sim::ExecutionContext &Ctx, AppKind K,
+                                    const sim::ChipProfile &Chip,
                                     const stress::Environment &Env,
                                     const stress::TunedStressParams &Tuned,
                                     const sim::FencePolicy *Policy,
                                     uint64_t Seed, bool Sequential) {
   Rng R(Seed);
-  sim::Device Dev(Chip, R.next());
+  sim::Device Dev(Ctx, Chip, R.next());
   Dev.setSequentialMode(Sequential);
   Dev.setFencePolicy(Policy);
   Dev.setBuiltinFences(!isNoFenceVariant(K));
@@ -121,4 +122,14 @@ AppVerdict apps::runApplicationOnce(AppKind K, const sim::ChipProfile &Chip,
   }
   return App->checkPostCondition(Dev) ? AppVerdict::Pass
                                       : AppVerdict::PostCondFail;
+}
+
+AppVerdict apps::runApplicationOnce(AppKind K, const sim::ChipProfile &Chip,
+                                    const stress::Environment &Env,
+                                    const stress::TunedStressParams &Tuned,
+                                    const sim::FencePolicy *Policy,
+                                    uint64_t Seed, bool Sequential) {
+  sim::ContextLease Ctx;
+  return runApplicationOnce(Ctx.get(), K, Chip, Env, Tuned, Policy, Seed,
+                            Sequential);
 }

@@ -115,6 +115,19 @@ inline bool isErroneous(AppVerdict V) { return V != AppVerdict::Pass; }
 /// \p Policy is the inserted-fence policy (null = no inserted fences);
 /// built-in fences are enabled unless \p K is a -nf variant. \p Sequential
 /// selects the SC reference mode.
+///
+/// Runs on \p Ctx, the reusable execution engine (reset for this run):
+/// loops and pool workers pass their recycled context so repeated runs
+/// allocate nothing in steady state. Results are bit-identical for any
+/// context history (DESIGN.md Sec. 12).
+AppVerdict runApplicationOnce(sim::ExecutionContext &Ctx, AppKind K,
+                              const sim::ChipProfile &Chip,
+                              const stress::Environment &Env,
+                              const stress::TunedStressParams &Tuned,
+                              const sim::FencePolicy *Policy, uint64_t Seed,
+                              bool Sequential = false);
+
+/// As above, leasing a recycled context from the current thread's pool.
 AppVerdict runApplicationOnce(AppKind K, const sim::ChipProfile &Chip,
                               const stress::Environment &Env,
                               const stress::TunedStressParams &Tuned,

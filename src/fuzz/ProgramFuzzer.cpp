@@ -187,11 +187,11 @@ Kernel interpretThread(ThreadContext &Ctx, const std::vector<Op> *Ops,
 
 } // namespace
 
-Outcome fuzz::runOnWeakMachine(const Program &P,
+Outcome fuzz::runOnWeakMachine(sim::ExecutionContext &Ctx, const Program &P,
                                const sim::ChipProfile &Chip, uint64_t Seed,
                                bool Stressed) {
   Rng R(Seed);
-  sim::Device Dev(Chip, R.next());
+  sim::Device Dev(Ctx, Chip, R.next());
 
   // Spread variables over distinct patches so cross-bank reordering can
   // occur between any pair, as between distinct allocations in real
@@ -243,6 +243,13 @@ Outcome fuzz::runOnWeakMachine(const Program &P,
   return O;
 }
 
+Outcome fuzz::runOnWeakMachine(const Program &P,
+                               const sim::ChipProfile &Chip, uint64_t Seed,
+                               bool Stressed) {
+  sim::ContextLease Ctx;
+  return runOnWeakMachine(Ctx.get(), P, Chip, Seed, Stressed);
+}
+
 FuzzResult fuzz::fuzzProgram(const Program &P,
                              const sim::ChipProfile &Chip, unsigned Runs,
                              uint64_t Seed, bool Stressed) {
@@ -252,9 +259,10 @@ FuzzResult fuzz::fuzzProgram(const Program &P,
   Result.ScSetSize = Sc.size();
   std::set<Outcome> WeakSeen, ScSeen;
   Rng Master(Seed);
+  sim::ContextLease Ctx; // One recycled engine across all runs.
   for (unsigned I = 0; I != Runs; ++I) {
     const Outcome O =
-        runOnWeakMachine(P, Chip, Master.fork(I).next(), Stressed);
+        runOnWeakMachine(Ctx.get(), P, Chip, Master.fork(I).next(), Stressed);
     if (Sc.count(O)) {
       ScSeen.insert(O);
       continue;

@@ -26,6 +26,7 @@
 #define GPUWMM_FUZZ_PROGRAMFUZZER_H
 
 #include "sim/ChipProfile.h"
+#include "sim/ExecutionContext.h"
 #include "sim/Types.h"
 #include "support/Rng.h"
 #include "support/ThreadPool.h"
@@ -77,7 +78,12 @@ using Outcome = std::vector<sim::Word>;
 std::set<Outcome> enumerateScOutcomes(const Program &P);
 
 /// Executes \p P once on the weak machine and returns the outcome.
-/// \p Stressed applies tuned sys-str stress to the run.
+/// \p Stressed applies tuned sys-str stress to the run. \p Ctx is the
+/// reusable execution engine to run on (reset for this run); the overload
+/// without it leases one from the current thread's pool.
+Outcome runOnWeakMachine(sim::ExecutionContext &Ctx, const Program &P,
+                         const sim::ChipProfile &Chip, uint64_t Seed,
+                         bool Stressed);
 Outcome runOnWeakMachine(const Program &P, const sim::ChipProfile &Chip,
                          uint64_t Seed, bool Stressed);
 

@@ -109,8 +109,9 @@ bool AppCheckOracle::checkApplication(const FencePolicy &F,
     const unsigned Chunk = std::min(ChunkSize, Iterations - Base);
     Execs += Chunk;
     parallelFor(Pool, Chunk, [&](size_t I) {
+      sim::ContextLease Ctx; // Worker-recycled execution engine.
       const apps::AppVerdict V = apps::runApplicationOnce(
-          App, Chip, Env, Tuned, &F,
+          Ctx.get(), App, Chip, Env, Tuned, &F,
           Rng::deriveStream(CheckSeed, Base + static_cast<uint64_t>(I)));
       Erroneous[Base + I] = apps::isErroneous(V);
     });

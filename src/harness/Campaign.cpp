@@ -105,11 +105,16 @@ CampaignReport harness::runCampaign(const CampaignConfig &Config,
   const size_t CellsPerChip = Config.Envs.size() * Config.Apps.size();
   std::vector<apps::AppVerdict> Verdicts(Report.Cells.size() * Config.Runs);
   parallelFor(Pool, Verdicts.size(), [&](size_t I) {
+    // One recycled execution engine per worker thread: the campaign's
+    // millions of runs share a handful of contexts instead of
+    // reconstructing the simulator per run (DESIGN.md Sec. 12).
+    sim::ContextLease Ctx;
     const size_t CellIdx = I / Config.Runs;
     const unsigned Run = static_cast<unsigned>(I % Config.Runs);
     const CampaignCell &Cell = Report.Cells[CellIdx];
     Verdicts[I] = apps::runApplicationOnce(
-        Cell.App, *Cell.Chip, Cell.Env, Tuned[CellIdx / CellsPerChip],
+        Ctx.get(), Cell.App, *Cell.Chip, Cell.Env,
+        Tuned[CellIdx / CellsPerChip],
         /*Policy=*/nullptr, Rng::deriveStream(CellSeeds[CellIdx], Run));
   });
 

@@ -16,9 +16,10 @@ CostMeasurement harness::measureCost(apps::AppKind App,
 
   // "Natively" means without any testing environment: no stress, no
   // thread randomisation (paper Sec. 6).
+  sim::ContextLease Ctx; // One recycled engine across all measured runs.
   for (unsigned I = 0; M.RunsUsed != Runs && I != 4 * Runs; ++I) {
     Rng R = Master.fork(I);
-    sim::Device Dev(Chip, R.next());
+    sim::Device Dev(Ctx.get(), Chip, R.next());
     Dev.setFencePolicy(&Fences);
     Dev.setBuiltinFences(!apps::isNoFenceVariant(App));
 

@@ -10,13 +10,17 @@ using namespace gpuwmm::harness;
 namespace {
 
 /// Runs one application execution and returns its verdict. Pure in its
-/// arguments: the parallel engine's unit of work.
+/// arguments: the parallel engine's unit of work. The leased context is
+/// the calling worker's recycled execution engine — context history never
+/// affects results (DESIGN.md Sec. 12), so distribution stays a pure
+/// wall-clock knob.
 apps::AppVerdict runOne(apps::AppKind App, const sim::ChipProfile &Chip,
                         const stress::Environment &Env,
                         const stress::TunedStressParams &Tuned,
                         uint64_t RunSeed) {
-  return apps::runApplicationOnce(App, Chip, Env, Tuned, /*Policy=*/nullptr,
-                                  RunSeed);
+  sim::ContextLease Ctx;
+  return apps::runApplicationOnce(Ctx.get(), App, Chip, Env, Tuned,
+                                  /*Policy=*/nullptr, RunSeed);
 }
 
 /// Folds per-run verdicts into a CellResult. The fold is a commutative

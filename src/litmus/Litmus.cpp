@@ -157,7 +157,7 @@ bool LitmusRunner::runOnce(const LitmusInstance &T, const MicroStress &S,
   Rng RunRng = Master.fork(Execs);
   ++Execs;
 
-  sim::Device Dev(Chip, RunRng.next());
+  sim::Device Dev(Ctx.get(), Chip, RunRng.next());
   Dev.setSequentialMode(Opts.Sequential);
   Dev.setRandomiseThreads(Opts.Randomise);
 

@@ -22,6 +22,7 @@
 #define GPUWMM_LITMUS_LITMUS_H
 
 #include "sim/ChipProfile.h"
+#include "sim/ExecutionContext.h"
 #include "stress/AccessSequence.h"
 #include "support/Rng.h"
 
@@ -109,6 +110,10 @@ public:
   /// Per-execution options (see LitmusRunOpts).
   using RunOpts = LitmusRunOpts;
 
+  /// A runner leases one recycled ExecutionContext from its thread's pool
+  /// and reuses it for every execution, so tuning sweeps that perform
+  /// thousands of runOnce calls allocate nothing per run in steady state.
+  /// Use the runner on the thread that constructed it.
   LitmusRunner(const sim::ChipProfile &Chip, uint64_t Seed)
       : Chip(Chip), Master(Seed) {}
 
@@ -127,6 +132,7 @@ public:
 private:
   const sim::ChipProfile &Chip;
   Rng Master;
+  sim::ContextLease Ctx; ///< Recycled engine state, reused every run.
   uint64_t Execs = 0;
 };
 

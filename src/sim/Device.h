@@ -11,7 +11,10 @@
 /// facilities, and exposes the runtime/energy model used by the paper's
 /// Sec. 6 cost study.
 ///
-/// Typical use:
+/// A Device is a thin facade over an ExecutionContext, which owns all
+/// heavyweight simulator state. The one-argument-pair constructor leases a
+/// recycled context from the current thread's pool, so even the classic
+///
 /// \code
 ///   sim::Device Dev(*sim::ChipProfile::lookup("titan"), Seed);
 ///   sim::Addr Buf = Dev.alloc(256);
@@ -21,6 +24,19 @@
 ///   });
 /// \endcode
 ///
+/// performs no per-run container allocation in steady state. Hot loops that
+/// want explicit control bind their own context:
+///
+/// \code
+///   sim::ExecutionContext Ctx;
+///   for (uint64_t Seed : Seeds) {
+///     sim::Device Dev(Ctx, Chip, Seed); // resets Ctx in O(touched)
+///     ...
+///   }
+/// \endcode
+///
+/// Results are bit-identical between the two forms (DESIGN.md Sec. 12).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef GPUWMM_SIM_DEVICE_H
@@ -28,6 +44,7 @@
 
 #include "sim/ChipProfile.h"
 #include "sim/Congestion.h"
+#include "sim/ExecutionContext.h"
 #include "sim/FencePolicy.h"
 #include "sim/Kernel.h"
 #include "sim/MemorySystem.h"
@@ -51,8 +68,20 @@ struct EnergyEstimate {
 /// (with full synchronisation at kernel boundaries, as in CUDA).
 class Device {
 public:
+  /// One-shot form: leases a recycled ExecutionContext from the current
+  /// thread's pool (allocation-free in steady state).
   Device(const ChipProfile &Chip, uint64_t Seed)
-      : Chip(Chip), R(Seed), Memory(Chip, R) {}
+      : Chip(Chip), Lease(), Ctx(Lease.get()) {
+    Ctx.reset(Chip, Seed);
+  }
+
+  /// Reuse form: binds to \p Ctx, resetting it for this execution. The
+  /// context must outlive the Device and must not be shared with another
+  /// live Device.
+  Device(ExecutionContext &Ctx, const ChipProfile &Chip, uint64_t Seed)
+      : Chip(Chip), Lease(nullptr), Ctx(Ctx) {
+    Ctx.reset(Chip, Seed);
+  }
 
   Device(const Device &) = delete;
   Device &operator=(const Device &) = delete;
@@ -60,11 +89,11 @@ public:
   // --- Configuration (set before launching) --------------------------------
 
   /// Sequentially consistent reference mode (no weak behaviours).
-  void setSequentialMode(bool SC) { Memory.setSequentialMode(SC); }
+  void setSequentialMode(bool SC) { memory().setSequentialMode(SC); }
 
   /// Installs the stressing strategy's contention source (not owned).
   void setCongestionSource(const CongestionSource *S) {
-    Memory.setCongestionSource(S);
+    memory().setCongestionSource(S);
   }
 
   /// Installs the per-site fence policy (not owned; null = no fences).
@@ -83,17 +112,17 @@ public:
 
   /// Allocates zeroed global memory (patch-aligned, as real allocators
   /// align to large boundaries).
-  Addr alloc(unsigned Words) { return Memory.alloc(Words); }
+  Addr alloc(unsigned Words) { return memory().alloc(Words); }
 
-  Word read(Addr A) const { return Memory.hostRead(A); }
-  void write(Addr A, Word V) { Memory.hostWrite(A, V); }
+  Word read(Addr A) const { return Ctx.memory().hostRead(A); }
+  void write(Addr A, Word V) { memory().hostWrite(A, V); }
 
   // --- Execution ---------------------------------------------------------------
 
   /// Launches and runs one kernel to completion; successive launches
   /// accumulate time and energy (multi-kernel applications).
   RunResult run(const LaunchConfig &LC, const KernelFn &Fn) {
-    Scheduler S(Chip, Memory, R, Sched);
+    Scheduler S(Chip, memory(), rng(), Sched, &Ctx.schedulerScratch());
     S.setFencePolicy(Policy);
     S.setBuiltinFences(BuiltinFences);
     S.launch(LC, Fn);
@@ -122,7 +151,7 @@ public:
   EnergyEstimate energy() const {
     EnergyEstimate E;
     E.Valid = Chip.SupportsPowerQuery;
-    const MemStats &M = Memory.stats();
+    const MemStats &M = memStats();
     const double DynamicJ = (static_cast<double>(M.Loads) * 2.0 +
                              static_cast<double>(M.Stores) * 2.5 +
                              static_cast<double>(M.Atomics) * 8.0 +
@@ -134,16 +163,17 @@ public:
   }
 
   uint64_t totalTicks() const { return TotalTicks; }
-  const MemStats &memStats() const { return Memory.stats(); }
+  const MemStats &memStats() const { return Ctx.memory().stats(); }
 
   const ChipProfile &chip() const { return Chip; }
-  Rng &rng() { return R; }
-  MemorySystem &memory() { return Memory; }
+  Rng &rng() { return Ctx.rng(); }
+  MemorySystem &memory() { return Ctx.memory(); }
+  ExecutionContext &context() { return Ctx; }
 
 private:
   const ChipProfile &Chip;
-  Rng R;
-  MemorySystem Memory;
+  ContextLease Lease; ///< Empty when an external context is bound.
+  ExecutionContext &Ctx;
   SchedulerConfig Sched;
   const FencePolicy *Policy = nullptr;
   bool BuiltinFences = true;

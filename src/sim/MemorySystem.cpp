@@ -8,14 +8,53 @@
 using namespace gpuwmm;
 using namespace gpuwmm::sim;
 
-MemorySystem::MemorySystem(const ChipProfile &Chip, Rng &R)
-    : Chip(Chip), R(R) {
-  PressureCache.resize(Chip.NumBanks);
-  PressureCacheTick.assign(Chip.NumBanks, ~0ULL);
+void MemorySystem::reset(const ChipProfile &NewChip) {
+  Chip = &NewChip;
+
+  // Zero exactly the words the previous run wrote (O(touched), not
+  // O(image)): the memory image itself keeps its size and capacity.
+  for (Addr A : DirtyWords) {
+    Mem[A] = 0;
+    MemWriteId[A] = 0;
+    MemDirty[A] = 0;
+  }
+  DirtyWords.clear();
+  NextFree = 0;
+
+  // Rewind every store-buffer queue the previous run touched.
+  // TouchedQueues is a superset of ActiveQueues (tick() prunes the latter
+  // lazily), so this also clears armed StallUntil values on queues that
+  // already drained.
+  for (const auto &[Tid, Bank] : TouchedQueues) {
+    BankQueue &Q = Buffers[Tid].Banks[Bank];
+    Q.Slots.clear();
+    Q.Head = 0;
+    Q.Active = false;
+    Q.Touched = false;
+    Q.StallUntil = 0;
+  }
+  TouchedQueues.clear();
+  ActiveQueues.clear();
+
+  AsyncSlots.clear();
+  PendingAsyncCount = 0;
+  Overlay.clear();
+
+  NextStoreId = 1;
+  CurrentTick = 0;
+  Stats = MemStats();
+  SeqMode = false;
+  Stress = nullptr;
+
+  PressureCache.resize(Chip->NumBanks);
+  PressureCacheTick.assign(Chip->NumBanks, ~0ULL);
 }
 
 void MemorySystem::registerThreads(unsigned NumThreads) {
-  Buffers.resize(NumThreads);
+  // Grow-only: threads beyond a smaller relaunch keep their (empty)
+  // buffers, so their bank-queue capacity survives for later runs.
+  if (Buffers.size() < NumThreads)
+    Buffers.resize(NumThreads);
 }
 
 Addr MemorySystem::alloc(unsigned Words) {
@@ -23,13 +62,14 @@ Addr MemorySystem::alloc(unsigned Words) {
   // Align to the patch size, as real allocators align to large boundaries;
   // this makes bank mappings stable across runs (cf. Fig. 3's per-location
   // structure).
-  const unsigned P = Chip.PatchSizeWords;
+  const unsigned P = Chip->PatchSizeWords;
   NextFree = (NextFree + P - 1) / P * P;
   const Addr Base = NextFree;
   NextFree += Words;
   if (Mem.size() < NextFree) {
     Mem.resize(NextFree, 0);
     MemWriteId.resize(NextFree, 0);
+    MemDirty.resize(NextFree, 0);
   }
   return Base;
 }
@@ -51,6 +91,7 @@ Word MemorySystem::visibleRead(unsigned Block, Addr A) const {
 
 void MemorySystem::atomicWrite(Addr A, Word V) {
   assert(A < Mem.size() && "address out of bounds");
+  markDirty(A);
   Mem[A] = V;
   if (!Overlay.empty())
     Overlay.erase(A);
@@ -61,6 +102,7 @@ void MemorySystem::globalWrite(Addr A, Word V, uint64_t StoreId) {
   // Per-location coherence: never step backwards in the store order.
   if (StoreId < MemWriteId[A])
     return;
+  markDirty(A);
   Mem[A] = V;
   MemWriteId[A] = StoreId;
   if (!Overlay.empty())
@@ -84,10 +126,14 @@ void MemorySystem::store(unsigned Tid, unsigned Block, Addr A, Word V) {
 
   assert(Tid < Buffers.size() && "thread not registered");
   ThreadBuffers &TB = Buffers[Tid];
-  if (TB.Banks.empty())
-    TB.Banks.resize(Chip.NumBanks);
+  if (TB.Banks.size() < Chip->NumBanks)
+    TB.Banks.resize(Chip->NumBanks);
   BankQueue &Q = TB.Banks[Bank];
-  Q.Entries.push_back({A, V, NextStoreId++, Block, false});
+  Q.push({A, V, NextStoreId++, Block, false});
+  if (!Q.Touched) {
+    Q.Touched = true;
+    TouchedQueues.emplace_back(Tid, Bank);
+  }
   if (!Q.Active) {
     Q.Active = true;
     ActiveQueues.emplace_back(Tid, Bank);
@@ -102,26 +148,27 @@ Word MemorySystem::load(unsigned Tid, unsigned Block, Addr A) {
   const unsigned Bank = bankOf(A);
   assert(Tid < Buffers.size() && "thread not registered");
   ThreadBuffers &TB = Buffers[Tid];
-  if (!TB.Banks.empty()) {
+  if (Bank < TB.Banks.size()) {
     BankQueue &Q = TB.Banks[Bank];
-    if (!Q.Entries.empty()) {
+    if (!Q.empty()) {
       // Forward from the newest buffered store to this exact address —
       // unless a store ordered after ours (a block-visible store published
       // at a barrier, or a write that already reached global memory)
       // supersedes it. Per-location coherence forbids reading backwards.
-      for (auto It = Q.Entries.rbegin(); It != Q.Entries.rend(); ++It) {
-        if (It->A != A)
+      for (size_t I = Q.Slots.size(); I != Q.Head; --I) {
+        const BufferedStore &E = Q.Slots[I - 1];
+        if (E.A != A)
           continue;
         if (!Overlay.empty()) {
           auto Range = Overlay.equal_range(A);
           for (auto OIt = Range.first; OIt != Range.second; ++OIt)
             if (OIt->second.Block == Block &&
-                OIt->second.StoreId > It->StoreId)
+                OIt->second.StoreId > E.StoreId)
               return OIt->second.V;
         }
-        if (MemWriteId[A] > It->StoreId)
+        if (MemWriteId[A] > E.StoreId)
           return Mem[A];
-        return It->V;
+        return E.V;
       }
       // Same-bank, different address: self-coherence forces a drain.
       selfDrainBank(Tid, Bank);
@@ -132,10 +179,10 @@ Word MemorySystem::load(unsigned Tid, unsigned Block, Addr A) {
 
 void MemorySystem::selfDrainBank(unsigned Tid, unsigned Bank) {
   ThreadBuffers &TB = Buffers[Tid];
-  if (TB.Banks.empty())
+  if (Bank >= TB.Banks.size())
     return;
   BankQueue &Q = TB.Banks[Bank];
-  if (Q.Entries.empty())
+  if (Q.empty())
     return;
   ++Stats.ForcedSelfDrains;
   drainQueue(Tid, Bank, /*Forced=*/true);
@@ -154,6 +201,7 @@ void MemorySystem::applyStore(const BufferedStore &E) {
       }
     }
     if (E.StoreId >= MemWriteId[E.A]) {
+      markDirty(E.A);
       Mem[E.A] = E.V;
       MemWriteId[E.A] = E.StoreId;
     }
@@ -166,9 +214,9 @@ void MemorySystem::applyStore(const BufferedStore &E) {
 void MemorySystem::drainQueue(unsigned Tid, unsigned Bank, bool Forced) {
   (void)Forced;
   BankQueue &Q = Buffers[Tid].Banks[Bank];
-  while (!Q.Entries.empty()) {
-    applyStore(Q.Entries.front());
-    Q.Entries.pop_front();
+  while (!Q.empty()) {
+    applyStore(Q.front());
+    Q.popFront();
   }
   // Deactivation from ActiveQueues happens lazily in tick().
 }
@@ -223,18 +271,21 @@ unsigned MemorySystem::fenceDevice(unsigned Tid) {
   if (SeqMode)
     return 1;
 
-  unsigned Latency = Chip.FenceBaseLatency;
+  unsigned Latency = Chip->FenceBaseLatency;
   // Complete this thread's pending async loads: a fence orders loads too.
   for (AsyncLoadSlot &Slot : AsyncSlots)
     if (!Slot.Done && Slot.Tid == Tid)
       completeAsync(Slot);
 
-  if (Tid < Buffers.size() && !Buffers[Tid].Banks.empty()) {
-    for (unsigned Bank = 0; Bank != Chip.NumBanks; ++Bank) {
-      BankQueue &Q = Buffers[Tid].Banks[Bank];
-      if (Q.Entries.empty())
+  if (Tid < Buffers.size()) {
+    // Entries only ever live in banks < Banks.size(), so iterating the
+    // thread's grown-to-chip bank array covers every buffered store.
+    std::vector<BankQueue> &Banks = Buffers[Tid].Banks;
+    for (unsigned Bank = 0; Bank != Banks.size(); ++Bank) {
+      BankQueue &Q = Banks[Bank];
+      if (Q.empty())
         continue;
-      Latency += static_cast<unsigned>(Q.Entries.size());
+      Latency += static_cast<unsigned>(Q.size());
       // Writing back through a congested bank stalls the fence further.
       Latency += static_cast<unsigned>(
           effectiveWritePressure(CurrentTick, Bank));
@@ -257,9 +308,8 @@ unsigned MemorySystem::fenceBlock(unsigned Tid, unsigned Block) {
 
   if (Tid >= Buffers.size() || Buffers[Tid].Banks.empty())
     return 2;
-  for (unsigned Bank = 0; Bank != Chip.NumBanks; ++Bank) {
-    BankQueue &Q = Buffers[Tid].Banks[Bank];
-    for (BufferedStore &E : Q.Entries) {
+  for (BankQueue &Q : Buffers[Tid].Banks) {
+    for (BufferedStore &E : Q) {
       if (E.BlockVisible)
         continue;
       E.BlockVisible = true;
@@ -348,23 +398,23 @@ const BankPressure &MemorySystem::pressure(uint64_t Now, unsigned Bank) {
 
 double MemorySystem::effectiveWritePressure(uint64_t Now, unsigned Bank) {
   const BankPressure &P = pressure(Now, Bank);
-  const double Raw = Chip.Sensitivity * (P.Write + 0.75 * P.Read);
-  return std::clamp(Raw - Chip.PressureThresh, 0.0, Chip.PressureCap);
+  const double Raw = Chip->Sensitivity * (P.Write + 0.75 * P.Read);
+  return std::clamp(Raw - Chip->PressureThresh, 0.0, Chip->PressureCap);
 }
 
 double MemorySystem::drainProb(uint64_t Now, unsigned Bank) {
   const double Eff = effectiveWritePressure(Now, Bank);
-  return std::max(Chip.DrainFloor,
-                  Chip.DrainBase / (1.0 + Chip.DrainCongestK * Eff));
+  return std::max(Chip->DrainFloor,
+                  Chip->DrainBase / (1.0 + Chip->DrainCongestK * Eff));
 }
 
 double MemorySystem::asyncProb(uint64_t Now, unsigned Bank) {
   const BankPressure &P = pressure(Now, Bank);
-  const double Raw = Chip.Sensitivity * (P.Read + 0.50 * P.Write);
-  const double Eff = std::clamp(Raw - Chip.PressureThresh, 0.0,
-                                Chip.PressureCap);
-  return std::max(Chip.AsyncFloor,
-                  Chip.AsyncBase / (1.0 + Chip.AsyncCongestK * Eff));
+  const double Raw = Chip->Sensitivity * (P.Read + 0.50 * P.Write);
+  const double Eff = std::clamp(Raw - Chip->PressureThresh, 0.0,
+                                Chip->PressureCap);
+  return std::max(Chip->AsyncFloor,
+                  Chip->AsyncBase / (1.0 + Chip->AsyncCongestK * Eff));
 }
 
 void MemorySystem::tick(uint64_t Now) {
@@ -386,7 +436,7 @@ void MemorySystem::tick(uint64_t Now) {
   for (size_t I = 0; I != ActiveQueues.size();) {
     const auto [Tid, Bank] = ActiveQueues[I];
     BankQueue &Q = Buffers[Tid].Banks[Bank];
-    if (Q.Entries.empty()) {
+    if (Q.empty()) {
       Q.Active = false;
       ActiveQueues[I] = ActiveQueues.back();
       ActiveQueues.pop_back();
@@ -394,14 +444,14 @@ void MemorySystem::tick(uint64_t Now) {
     }
     if (Q.StallUntil <= Now) {
       // Maxwell quirk: occasional long stalls independent of stress.
-      if (Chip.BaselineReorder > 0.0 && R.chance(Chip.BaselineReorder)) {
+      if (Chip->BaselineReorder > 0.0 && R.chance(Chip->BaselineReorder)) {
         // Short stalls: enough to widen litmus windows (Fig. 3c's 980
         // noise) without breaking application hand-offs natively.
         Q.StallUntil = Now + 2 + R.below(3);
       } else if (R.chance(drainProb(Now, Bank))) {
-        applyStore(Q.Entries.front());
-        Q.Entries.pop_front();
-        if (Q.Entries.empty()) {
+        applyStore(Q.front());
+        Q.popFront();
+        if (Q.empty()) {
           Q.Active = false;
           ActiveQueues[I] = ActiveQueues.back();
           ActiveQueues.pop_back();
@@ -416,8 +466,8 @@ void MemorySystem::tick(uint64_t Now) {
 void MemorySystem::drainThread(unsigned Tid) {
   if (Tid >= Buffers.size() || Buffers[Tid].Banks.empty())
     return;
-  for (unsigned Bank = 0; Bank != Chip.NumBanks; ++Bank)
-    if (!Buffers[Tid].Banks[Bank].Entries.empty())
+  for (unsigned Bank = 0; Bank != Buffers[Tid].Banks.size(); ++Bank)
+    if (!Buffers[Tid].Banks[Bank].empty())
       drainQueue(Tid, Bank, /*Forced=*/true);
   for (AsyncLoadSlot &Slot : AsyncSlots)
     if (!Slot.Done && Slot.Tid == Tid)
@@ -441,6 +491,7 @@ Word MemorySystem::hostRead(Addr A) const {
 
 void MemorySystem::hostWrite(Addr A, Word V) {
   assert(A < Mem.size() && "address out of bounds");
+  markDirty(A);
   Mem[A] = V;
   MemWriteId[A] = NextStoreId++;
 }

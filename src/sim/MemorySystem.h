@@ -37,6 +37,15 @@
 /// In sequential mode (used for reference runs) every operation takes
 /// effect immediately and the model is sequentially consistent.
 ///
+/// Lifecycle (DESIGN.md Sec. 12): a MemorySystem is a reusable engine.
+/// \ref reset rebinds it to a chip and restores the exact observable state
+/// of a freshly constructed instance in O(state touched since the last
+/// reset) — written words are zeroed via a dirty-address list, store-buffer
+/// slots, async-load slots and overlays are emptied with their capacity
+/// retained. Store buffers are slot-based (a vector with a head cursor)
+/// rather than deque-based, so a reused context performs no per-run
+/// allocation in steady state.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef GPUWMM_SIM_MEMORYSYSTEM_H
@@ -47,7 +56,7 @@
 #include "sim/Types.h"
 #include "support/Rng.h"
 
-#include <deque>
+#include <cassert>
 #include <unordered_map>
 #include <vector>
 
@@ -57,7 +66,20 @@ namespace sim {
 /// The simulated global memory with its weak-memory machinery.
 class MemorySystem {
 public:
-  MemorySystem(const ChipProfile &Chip, Rng &R);
+  /// An unbound engine; call \ref reset before use. \p R is the RNG the
+  /// engine draws from (not owned; typically the owning
+  /// ExecutionContext's).
+  explicit MemorySystem(Rng &R) : R(R) {}
+
+  /// Convenience: an engine bound to \p Chip immediately (unit tests and
+  /// one-shot uses).
+  MemorySystem(const ChipProfile &Chip, Rng &R) : R(R) { reset(Chip); }
+
+  /// Rebinds to \p NewChip and restores freshly-constructed observable
+  /// state in O(touched): zeroes every word written since the last reset,
+  /// empties store-buffer/async/overlay state (keeping capacity), clears
+  /// statistics and re-arms the per-bank pressure cache.
+  void reset(const ChipProfile &NewChip);
 
   /// Switches to sequentially consistent mode (reference runs).
   void setSequentialMode(bool SC) { SeqMode = SC; }
@@ -132,7 +154,10 @@ public:
   void hostWrite(Addr A, Word V);
 
   const MemStats &stats() const { return Stats; }
-  const ChipProfile &chip() const { return Chip; }
+  const ChipProfile &chip() const {
+    assert(Chip && "memory system not bound to a chip");
+    return *Chip;
+  }
 
   /// Effective write-side congestion pressure on \p Bank this tick
   /// (exposed for fence-latency modelling and tests).
@@ -147,14 +172,36 @@ private:
     bool BlockVisible;
   };
 
+  /// One thread's FIFO of buffered stores for one bank: slot storage with
+  /// a head cursor instead of a deque, so the backing allocation is
+  /// reused across entries, runs and resets. When the queue empties the
+  /// slots rewind to the front (StallUntil deliberately survives within a
+  /// run: a later same-bank store still honours an armed stall, exactly as
+  /// the deque-based engine behaved).
   struct BankQueue {
-    std::deque<BufferedStore> Entries;
-    bool Active = false;       ///< Registered in ActiveQueues.
-    uint64_t StallUntil = 0;   ///< Baseline-reorder quirk stall.
+    std::vector<BufferedStore> Slots;
+    size_t Head = 0;
+    bool Active = false;     ///< Registered in ActiveQueues.
+    bool Touched = false;    ///< Registered in TouchedQueues (reset list).
+    uint64_t StallUntil = 0; ///< Baseline-reorder quirk stall.
+
+    bool empty() const { return Head == Slots.size(); }
+    size_t size() const { return Slots.size() - Head; }
+    BufferedStore &front() { return Slots[Head]; }
+    void push(const BufferedStore &E) { Slots.push_back(E); }
+    void popFront() {
+      ++Head;
+      if (Head == Slots.size()) {
+        Slots.clear();
+        Head = 0;
+      }
+    }
+    auto begin() { return Slots.begin() + static_cast<ptrdiff_t>(Head); }
+    auto end() { return Slots.end(); }
   };
 
   struct ThreadBuffers {
-    std::vector<BankQueue> Banks; ///< Sized NumBanks on first use.
+    std::vector<BankQueue> Banks; ///< Grown to NumBanks on first use.
   };
 
   struct AsyncLoadSlot {
@@ -170,7 +217,16 @@ private:
     uint64_t StoreId;
   };
 
-  unsigned bankOf(Addr A) const { return Chip.bankOf(A); }
+  unsigned bankOf(Addr A) const { return Chip->bankOf(A); }
+
+  /// Records that \p A has been written since the last reset, so reset()
+  /// can zero exactly the touched words.
+  void markDirty(Addr A) {
+    if (!MemDirty[A]) {
+      MemDirty[A] = 1;
+      DirtyWords.push_back(A);
+    }
+  }
 
   /// Writes \p V to globally visible memory and invalidates block-visible
   /// overlay values for \p A. Per-location coherence: the write is dropped
@@ -209,17 +265,22 @@ private:
   double asyncProb(uint64_t Now, unsigned Bank);
   const BankPressure &pressure(uint64_t Now, unsigned Bank);
 
-  const ChipProfile &Chip;
+  const ChipProfile *Chip = nullptr; ///< Rebound by reset().
   Rng &R;
   const CongestionSource *Stress = nullptr;
   bool SeqMode = false;
 
   std::vector<Word> Mem;
   std::vector<uint64_t> MemWriteId; ///< Coherence order per address.
+  std::vector<uint8_t> MemDirty;    ///< Written since the last reset.
+  std::vector<Addr> DirtyWords;     ///< Addresses to zero on reset.
   unsigned NextFree = 0;
 
   std::vector<ThreadBuffers> Buffers;
   std::vector<std::pair<unsigned, unsigned>> ActiveQueues; ///< (tid, bank)
+  /// Every queue touched since the last reset — a superset of
+  /// ActiveQueues (which tick() prunes lazily) used for O(touched) reset.
+  std::vector<std::pair<unsigned, unsigned>> TouchedQueues;
 
   std::vector<AsyncLoadSlot> AsyncSlots;
   unsigned PendingAsyncCount = 0;

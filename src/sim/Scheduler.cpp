@@ -10,21 +10,40 @@
 using namespace gpuwmm;
 using namespace gpuwmm::sim;
 
-Scheduler::Scheduler(const ChipProfile &Chip, MemorySystem &Mem, Rng &R,
-                     const SchedulerConfig &Config)
-    : Chip(Chip), Mem(Mem), R(R), Config(Config) {}
+Scheduler::Scratch::Scratch() = default;
+Scheduler::Scratch::~Scratch() = default;
 
-Scheduler::~Scheduler() = default;
+void Scheduler::Scratch::clear() {
+  Threads.clear(); // Destroys the kernel coroutines.
+  Contexts.clear();
+  Blocks.clear();
+  for (std::vector<Warp> &Ws : SMWarps)
+    Ws.clear();
+  SMRotor.clear();
+  TicketWaiters.clear();
+}
+
+Scheduler::Scheduler(const ChipProfile &Chip, MemorySystem &Mem, Rng &R,
+                     const SchedulerConfig &Config, Scratch *ExtScratch)
+    : Chip(Chip), Mem(Mem), R(R), Config(Config),
+      OwnedScratch(ExtScratch ? nullptr : new Scratch),
+      S(ExtScratch ? *ExtScratch : *OwnedScratch) {}
+
+Scheduler::~Scheduler() { S.clear(); }
 
 void Scheduler::launch(const LaunchConfig &LC, const KernelFn &Fn) {
-  assert(Threads.empty() && "scheduler already launched");
+  assert(S.Threads.empty() && "scheduler already launched");
   Launch = LC;
   const unsigned NumThreads = LC.totalThreads();
   Mem.registerThreads(NumThreads);
-  Threads.resize(NumThreads);
-  Blocks.resize(LC.GridDim);
-  SMWarps.assign(Chip.NumSMs, {});
-  SMRotor.assign(Chip.NumSMs, 0);
+  S.Threads.resize(NumThreads);
+  S.Contexts.reserve(NumThreads); // Reserve first: addresses must be stable.
+  S.Blocks.assign(LC.GridDim, BlockState{});
+  if (S.SMWarps.size() < Chip.NumSMs)
+    S.SMWarps.resize(Chip.NumSMs);
+  for (std::vector<Warp> &Ws : S.SMWarps)
+    Ws.clear();
+  S.SMRotor.assign(Chip.NumSMs, 0);
 
   // Block placement: deterministic round-robin natively; random placement
   // under thread randomisation (blocks move as units, so block membership
@@ -37,7 +56,7 @@ void Scheduler::launch(const LaunchConfig &LC, const KernelFn &Fn) {
       BlockToSM[B] = static_cast<unsigned>(R.below(Chip.NumSMs));
 
   for (unsigned B = 0; B != LC.GridDim; ++B) {
-    BlockState &BS = Blocks[B];
+    BlockState &BS = S.Blocks[B];
     BS.FirstTid = B * LC.BlockDim;
     BS.NumThreads = LC.BlockDim;
     BS.Live = LC.BlockDim;
@@ -47,15 +66,15 @@ void Scheduler::launch(const LaunchConfig &LC, const KernelFn &Fn) {
       Warp Wp;
       Wp.FirstTid = BS.FirstTid + W * WarpSize;
       Wp.NumThreads = std::min(WarpSize, LC.BlockDim - W * WarpSize);
-      SMWarps[BlockToSM[B]].push_back(Wp);
+      S.SMWarps[BlockToSM[B]].push_back(Wp);
     }
 
     for (unsigned L = 0; L != LC.BlockDim; ++L) {
       const unsigned Tid = BS.FirstTid + L;
-      Contexts.emplace_back(*this, Tid, B, L, LC);
-      SimThread &T = Threads[Tid];
+      S.Contexts.emplace_back(*this, Tid, B, L, LC);
+      SimThread &T = S.Threads[Tid];
       T.Block = B;
-      T.Coro = Fn(Contexts.back());
+      T.Coro = Fn(S.Contexts.back());
       assert(T.Coro.valid() && "kernel factory returned an invalid kernel");
     }
   }
@@ -64,7 +83,7 @@ void Scheduler::launch(const LaunchConfig &LC, const KernelFn &Fn) {
   // Under randomisation, also shuffle each SM's resident warp order (warps
   // stay intact: thread ids within a warp are never permuted apart).
   if (Config.RandomiseThreads)
-    for (auto &Ws : SMWarps)
+    for (auto &Ws : S.SMWarps)
       R.shuffle(Ws);
 }
 
@@ -78,7 +97,7 @@ void Scheduler::sleep(SimThread &T, unsigned Latency) {
 }
 
 void Scheduler::resumeThread(unsigned Tid) {
-  SimThread &T = Threads[Tid];
+  SimThread &T = S.Threads[Tid];
   assert(threadEligible(T) && "resuming an ineligible thread");
   // A pending inserted fence executes as its own instruction before the
   // kernel proceeds: first the fence's round-trip latency elapses, then
@@ -98,7 +117,7 @@ void Scheduler::resumeThread(unsigned Tid) {
   if (T.Coro.done()) {
     T.State = ThreadState::Done;
     --Live;
-    BlockState &BS = Blocks[T.Block];
+    BlockState &BS = S.Blocks[T.Block];
     assert(BS.Live > 0);
     --BS.Live;
     // A thread exiting while block siblings wait at a barrier is barrier
@@ -131,27 +150,27 @@ RunResult Scheduler::run() {
     Mem.tick(Now);
 
     // Wake async-load waiters whose tickets completed.
-    for (size_t I = 0; I != TicketWaiters.size();) {
-      const unsigned Tid = TicketWaiters[I];
-      SimThread &T = Threads[Tid];
+    for (size_t I = 0; I != S.TicketWaiters.size();) {
+      const unsigned Tid = S.TicketWaiters[I];
+      SimThread &T = S.Threads[Tid];
       if (T.State == ThreadState::OnTicket && Mem.asyncDone(T.Ticket)) {
         T.RetVal = Mem.asyncValue(T.Ticket);
         T.State = ThreadState::Sleeping;
         T.WakeTick = Now;
-        TicketWaiters[I] = TicketWaiters.back();
-        TicketWaiters.pop_back();
+        S.TicketWaiters[I] = S.TicketWaiters.back();
+        S.TicketWaiters.pop_back();
         continue;
       }
       ++I;
     }
 
     bool Issued = false;
-    for (unsigned SM = 0; SM != SMWarps.size(); ++SM) {
-      auto &Ws = SMWarps[SM];
+    for (unsigned SM = 0; SM != S.SMRotor.size(); ++SM) {
+      auto &Ws = S.SMWarps[SM];
       if (Ws.empty())
         continue;
       unsigned Budget = Config.IssueWidthPerSM;
-      unsigned Start = SMRotor[SM];
+      unsigned Start = S.SMRotor[SM];
       if (Config.RandomiseThreads)
         Start = static_cast<unsigned>(R.below(Ws.size()));
       for (unsigned K = 0; K != Ws.size() && Budget != 0; ++K) {
@@ -162,7 +181,7 @@ RunResult Scheduler::run() {
         bool WarpIssued = false;
         for (unsigned L = 0; L != W.NumThreads; ++L) {
           const unsigned Tid = W.FirstTid + L;
-          if (!threadEligible(Threads[Tid]))
+          if (!threadEligible(S.Threads[Tid]))
             continue;
           resumeThread(Tid);
           WarpIssued = true;
@@ -172,19 +191,19 @@ RunResult Scheduler::run() {
           Issued = true;
         }
       }
-      SMRotor[SM] = (SMRotor[SM] + 1) % Ws.size();
+      S.SMRotor[SM] = (S.SMRotor[SM] + 1) % Ws.size();
     }
 
     if (!Issued && Live > 0 && !Mem.hasPendingWork() &&
-        TicketWaiters.empty()) {
+        S.TicketWaiters.empty()) {
       // Nothing ran: deadlocked unless some thread is merely sleeping (it
       // will become eligible at its wake tick).
       bool AnySleeping = false;
-      for (const SimThread &T : Threads)
+      for (const SimThread &T : S.Threads)
         AnySleeping |= T.State == ThreadState::Sleeping;
       if (!AnySleeping) {
         bool AnyAtBarrier = false;
-        for (const BlockState &BS : Blocks)
+        for (const BlockState &BS : S.Blocks)
           AnyAtBarrier |= BS.AtBarrier > 0;
         Result.Status = AnyAtBarrier ? RunStatus::BarrierDivergence
                                      : RunStatus::Deadlock;
@@ -211,14 +230,14 @@ void Scheduler::armPolicyFence(SimThread &T, int Site) {
 }
 
 void Scheduler::opStore(unsigned Tid, Addr A, Word V, int Site) {
-  SimThread &T = Threads[Tid];
+  SimThread &T = S.Threads[Tid];
   Mem.store(Tid, T.Block, A, V);
   sleep(T, 1);
   armPolicyFence(T, Site);
 }
 
 void Scheduler::opLoad(unsigned Tid, Addr A, int Site) {
-  SimThread &T = Threads[Tid];
+  SimThread &T = S.Threads[Tid];
   T.RetVal = Mem.load(Tid, T.Block, A);
   sleep(T, 1);
   armPolicyFence(T, Site);
@@ -226,51 +245,51 @@ void Scheduler::opLoad(unsigned Tid, Addr A, int Site) {
 
 void Scheduler::opAtomicCAS(unsigned Tid, Addr A, Word Cmp, Word Val,
                             int Site) {
-  SimThread &T = Threads[Tid];
+  SimThread &T = S.Threads[Tid];
   T.RetVal = Mem.atomicCAS(Tid, A, Cmp, Val);
   sleep(T, Chip.AtomicLatency);
   armPolicyFence(T, Site);
 }
 
 void Scheduler::opAtomicExch(unsigned Tid, Addr A, Word Val, int Site) {
-  SimThread &T = Threads[Tid];
+  SimThread &T = S.Threads[Tid];
   T.RetVal = Mem.atomicExch(Tid, A, Val);
   sleep(T, Chip.AtomicLatency);
   armPolicyFence(T, Site);
 }
 
 void Scheduler::opAtomicAdd(unsigned Tid, Addr A, Word Val, int Site) {
-  SimThread &T = Threads[Tid];
+  SimThread &T = S.Threads[Tid];
   T.RetVal = Mem.atomicAdd(Tid, A, Val);
   sleep(T, Chip.AtomicLatency);
   armPolicyFence(T, Site);
 }
 
 void Scheduler::opFenceDevice(unsigned Tid) {
-  sleep(Threads[Tid], Mem.fenceDevice(Tid));
+  sleep(S.Threads[Tid], Mem.fenceDevice(Tid));
 }
 
 void Scheduler::opFenceBlock(unsigned Tid) {
-  SimThread &T = Threads[Tid];
+  SimThread &T = S.Threads[Tid];
   sleep(T, Mem.fenceBlock(Tid, T.Block));
 }
 
 void Scheduler::opBuiltinFence(unsigned Tid) {
   if (!BuiltinFences) {
-    sleep(Threads[Tid], 1);
+    sleep(S.Threads[Tid], 1);
     return;
   }
   opFenceDevice(Tid);
 }
 
 void Scheduler::opAsyncIssue(unsigned Tid, Addr A) {
-  SimThread &T = Threads[Tid];
+  SimThread &T = S.Threads[Tid];
   T.RetVal = Mem.issueAsyncLoad(Tid, A);
   sleep(T, 1);
 }
 
 void Scheduler::opAsyncWait(unsigned Tid, unsigned Ticket) {
-  SimThread &T = Threads[Tid];
+  SimThread &T = S.Threads[Tid];
   if (Mem.asyncDone(Ticket)) {
     T.RetVal = Mem.asyncValue(Ticket);
     sleep(T, 1);
@@ -278,12 +297,12 @@ void Scheduler::opAsyncWait(unsigned Tid, unsigned Ticket) {
   }
   T.State = ThreadState::OnTicket;
   T.Ticket = Ticket;
-  TicketWaiters.push_back(Tid);
+  S.TicketWaiters.push_back(Tid);
 }
 
 void Scheduler::opBarrier(unsigned Tid) {
-  SimThread &T = Threads[Tid];
-  BlockState &BS = Blocks[T.Block];
+  SimThread &T = S.Threads[Tid];
+  BlockState &BS = S.Blocks[T.Block];
   T.State = ThreadState::AtBarrier;
   ++BS.AtBarrier;
   if (BS.AtBarrier == BS.Live)
@@ -291,12 +310,12 @@ void Scheduler::opBarrier(unsigned Tid) {
 }
 
 void Scheduler::releaseBarrier(unsigned Block) {
-  BlockState &BS = Blocks[Block];
+  BlockState &BS = S.Blocks[Block];
   // CUDA guarantees block-level memory consistency at barriers: every
   // participant's buffered stores become visible to the block.
   for (unsigned L = 0; L != BS.NumThreads; ++L) {
     const unsigned Tid = BS.FirstTid + L;
-    SimThread &T = Threads[Tid];
+    SimThread &T = S.Threads[Tid];
     if (T.State != ThreadState::AtBarrier)
       continue;
     Mem.fenceBlock(Tid, Block);
@@ -307,7 +326,7 @@ void Scheduler::releaseBarrier(unsigned Block) {
 }
 
 void Scheduler::opYield(unsigned Tid, unsigned Ticks) {
-  sleep(Threads[Tid], std::max(1u, Ticks));
+  sleep(S.Threads[Tid], std::max(1u, Ticks));
 }
 
 void Scheduler::opFault(unsigned Tid) {
@@ -315,4 +334,4 @@ void Scheduler::opFault(unsigned Tid) {
   FaultFlag = true;
 }
 
-Word Scheduler::retVal(unsigned Tid) const { return Threads[Tid].RetVal; }
+Word Scheduler::retVal(unsigned Tid) const { return S.Threads[Tid].RetVal; }

@@ -13,6 +13,12 @@
 /// heuristic of the paper's Sec. 3.5 (permuted block placement plus warp
 /// scheduling jitter, always honouring warp and block membership).
 ///
+/// The scheduler's launch-lifetime containers live in a Scheduler::Scratch
+/// that can be supplied by an ExecutionContext: the scheduler clears it
+/// (capacity preserved) when it finishes, so back-to-back launches on a
+/// reused context allocate nothing beyond the coroutine frames themselves
+/// (DESIGN.md Sec. 12).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef GPUWMM_SIM_SCHEDULER_H
@@ -24,7 +30,6 @@
 #include "sim/Types.h"
 #include "support/Rng.h"
 
-#include <deque>
 #include <memory>
 #include <vector>
 
@@ -57,8 +62,61 @@ struct SchedulerConfig {
 /// Executes one kernel launch to completion.
 class Scheduler {
 public:
+  /// The scheduler's launch-lifetime containers, recyclable across
+  /// launches. The owning scheduler fills these at launch() and clears
+  /// them (capacity preserved) in its destructor; contents are internal
+  /// to the scheduler.
+  struct Scratch {
+    // Out-of-line special members: Contexts holds the (here incomplete)
+    // ThreadContext type, so instantiation must happen in Scheduler.cpp.
+    Scratch();
+    ~Scratch();
+    Scratch(const Scratch &) = delete;
+    Scratch &operator=(const Scratch &) = delete;
+
+    struct SimThread {
+      Kernel Coro;
+      ThreadState State = ThreadState::Sleeping;
+      uint64_t WakeTick = 0;
+      unsigned Ticket = 0;
+      Word RetVal = 0;
+      unsigned Block = 0;
+      /// Inserted-fence micro-sequencer: a policy fence is a separate
+      /// instruction after the access, so its drain lands FenceBaseLatency
+      /// ticks later — leaving the genuine reordering window a trailing
+      /// fence cannot close (e.g. after an unlock).
+      unsigned PendingFenceStage = 0;
+    };
+
+    struct Warp {
+      unsigned FirstTid = 0;
+      unsigned NumThreads = 0;
+    };
+
+    struct BlockState {
+      unsigned Live = 0;       ///< Threads not yet Done.
+      unsigned AtBarrier = 0;  ///< Threads parked at the barrier.
+      unsigned FirstTid = 0;
+      unsigned NumThreads = 0;
+    };
+
+    std::vector<SimThread> Threads;
+    /// Stable for a launch: reserved to the thread count before any
+    /// element is created, so coroutines may hold references into it.
+    std::vector<ThreadContext> Contexts;
+    std::vector<BlockState> Blocks;
+    std::vector<std::vector<Warp>> SMWarps; ///< Warps resident on each SM.
+    std::vector<unsigned> SMRotor;          ///< Round-robin start per SM.
+    std::vector<unsigned> TicketWaiters;
+
+    /// Destroys launch state (coroutines included), keeping capacity.
+    void clear();
+  };
+
+  /// \p S supplies recyclable containers (an ExecutionContext's, usually);
+  /// when null the scheduler privately owns a scratch.
   Scheduler(const ChipProfile &Chip, MemorySystem &Mem, Rng &R,
-            const SchedulerConfig &Config);
+            const SchedulerConfig &Config, Scratch *S = nullptr);
   ~Scheduler();
 
   Scheduler(const Scheduler &) = delete;
@@ -98,31 +156,9 @@ public:
   uint64_t now() const { return Now; }
 
 private:
-  struct SimThread {
-    Kernel Coro;
-    ThreadState State = ThreadState::Sleeping;
-    uint64_t WakeTick = 0;
-    unsigned Ticket = 0;
-    Word RetVal = 0;
-    unsigned Block = 0;
-    /// Inserted-fence micro-sequencer: a policy fence is a separate
-    /// instruction after the access, so its drain lands FenceBaseLatency
-    /// ticks later — leaving the genuine reordering window a trailing
-    /// fence cannot close (e.g. after an unlock).
-    unsigned PendingFenceStage = 0;
-  };
-
-  struct Warp {
-    unsigned FirstTid = 0;
-    unsigned NumThreads = 0;
-  };
-
-  struct BlockState {
-    unsigned Live = 0;       ///< Threads not yet Done.
-    unsigned AtBarrier = 0;  ///< Threads parked at the barrier.
-    unsigned FirstTid = 0;
-    unsigned NumThreads = 0;
-  };
+  using SimThread = Scratch::SimThread;
+  using Warp = Scratch::Warp;
+  using BlockState = Scratch::BlockState;
 
   /// Puts \p T to sleep for \p Latency ticks.
   void sleep(SimThread &T, unsigned Latency);
@@ -142,14 +178,10 @@ private:
   const FencePolicy *Policy = nullptr;
   bool BuiltinFences = true;
 
-  LaunchConfig Launch;
-  std::vector<SimThread> Threads;
-  std::deque<ThreadContext> Contexts;
-  std::vector<BlockState> Blocks;
-  std::vector<std::vector<Warp>> SMWarps; ///< Warps resident on each SM.
-  std::vector<unsigned> SMRotor;          ///< Round-robin start per SM.
-  std::vector<unsigned> TicketWaiters;
+  std::unique_ptr<Scratch> OwnedScratch; ///< Engaged when none was passed.
+  Scratch &S;
 
+  LaunchConfig Launch;
   uint64_t Now = 0;
   unsigned Live = 0;
   bool FaultFlag = false;

@@ -3,6 +3,8 @@
 #include "support/Options.h"
 
 #include <algorithm>
+#include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 #include <string_view>
 
@@ -28,6 +30,26 @@ int64_t Options::getInt(const std::string &Key, int64_t Default) const {
   if (It == Values.end())
     return Default;
   return std::strtoll(It->second.c_str(), nullptr, 10);
+}
+
+int64_t Options::getPositiveInt(const std::string &Key, int64_t Default,
+                                int64_t Max) const {
+  const auto It = Values.find(Key);
+  if (It == Values.end())
+    return Default;
+  const std::string &Text = It->second;
+  errno = 0;
+  char *End = nullptr;
+  const long long Parsed = std::strtoll(Text.c_str(), &End, 10);
+  if (Text.empty() || End != Text.c_str() + Text.size() || errno == ERANGE ||
+      Parsed <= 0 || Parsed > Max) {
+    std::fprintf(stderr,
+                 "error: --%s must be a positive integer no larger than "
+                 "%lld (got '%s')\n",
+                 Key.c_str(), static_cast<long long>(Max), Text.c_str());
+    std::exit(2);
+  }
+  return Parsed;
 }
 
 double Options::getDouble(const std::string &Key, double Default) const {

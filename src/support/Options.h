@@ -31,6 +31,14 @@ public:
   /// Returns the integer value of \p Key, or \p Default when absent.
   int64_t getInt(const std::string &Key, int64_t Default) const;
 
+  /// Returns the strictly positive integer value of \p Key, or \p Default
+  /// when absent. When the option is present but zero, negative, not a
+  /// number, or larger than \p Max (e.g. --jobs=0, --jobs=-3, --jobs=abc,
+  /// or a value that would truncate when narrowed), prints a clear error
+  /// to stderr and exits with status 2 instead of silently misbehaving.
+  int64_t getPositiveInt(const std::string &Key, int64_t Default,
+                         int64_t Max = INT64_MAX) const;
+
   /// Returns the double value of \p Key, or \p Default when absent.
   double getDouble(const std::string &Key, double Default) const;
 

@@ -3,18 +3,26 @@
 #include "support/ThreadPool.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 
 using namespace gpuwmm;
 
 unsigned ThreadPool::defaultJobs() {
+  const unsigned HW = std::max(1u, std::thread::hardware_concurrency());
   if (const char *Env = std::getenv("GPUWMM_JOBS")) {
-    const long Jobs = std::strtol(Env, nullptr, 10);
-    if (Jobs > 0)
+    char *End = nullptr;
+    const long Jobs = std::strtol(Env, &End, 10);
+    if (*Env != '\0' && *End == '\0' && Jobs > 0 && Jobs <= (1 << 16))
       return static_cast<unsigned>(Jobs);
+    // Mirror the --jobs validation, but warn-and-fall-back rather than
+    // exit: an environment variable should not be fatal to library users.
+    std::fprintf(stderr,
+                 "warning: ignoring invalid GPUWMM_JOBS='%s' (must be a "
+                 "positive integer); using %u jobs\n",
+                 Env, HW);
   }
-  const unsigned HW = std::thread::hardware_concurrency();
-  return HW == 0 ? 1 : HW;
+  return HW;
 }
 
 ThreadPool::ThreadPool(unsigned Jobs)

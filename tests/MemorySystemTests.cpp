@@ -450,3 +450,93 @@ TEST_F(MemoryFixture, PressureBelowThresholdHasNoEffect) {
   Mem.tick(1);
   EXPECT_DOUBLE_EQ(Mem.effectiveWritePressure(1, 0), 0.0);
 }
+
+//===----------------------------------------------------------------------===//
+// Reset lifecycle (DESIGN.md Sec. 12)
+//===----------------------------------------------------------------------===//
+
+TEST_F(MemoryFixture, ResetZeroesExactlyTheTouchedWords) {
+  const Addr A = Mem.alloc(128);
+  Mem.hostWrite(A, 11);
+  Mem.hostWrite(A + 100, 22);
+  Mem.store(0, 0, A + 5, 33);
+  Mem.atomicAdd(1, A + 7, 44);
+  Mem.drainAll();
+
+  Mem.reset(titan());
+  EXPECT_EQ(Mem.allocatedWords(), 0u);
+  const Addr B = Mem.alloc(128);
+  EXPECT_EQ(B, A) << "allocation restarts from the bottom";
+  for (Addr W = B; W != B + 128; ++W)
+    EXPECT_EQ(Mem.hostRead(W), 0u) << "word " << W;
+}
+
+TEST_F(MemoryFixture, ResetClearsStatsBuffersAndAsyncState) {
+  Mem.alloc(64);
+  Mem.store(0, 0, 3, 9);
+  const unsigned Ticket = Mem.issueAsyncLoad(1, 5);
+  (void)Ticket;
+  EXPECT_TRUE(Mem.hasPendingWork());
+  EXPECT_GT(Mem.stats().Stores, 0u);
+
+  Mem.reset(titan());
+  EXPECT_FALSE(Mem.hasPendingWork());
+  EXPECT_EQ(Mem.stats().Stores, 0u);
+  EXPECT_EQ(Mem.stats().AsyncLoads, 0u);
+  EXPECT_FALSE(Mem.sequentialMode());
+  // Ticket numbering restarts, as on a fresh system.
+  Mem.alloc(64);
+  EXPECT_EQ(Mem.issueAsyncLoad(0, 1), 0u);
+}
+
+TEST_F(MemoryFixture, ResetRebindsToADifferentChip) {
+  const ChipProfile &Maxwell = *ChipProfile::lookup("980");
+  Mem.alloc(16);
+  Mem.store(0, 0, 0, 1);
+  Mem.drainAll();
+
+  Mem.reset(Maxwell);
+  EXPECT_EQ(&Mem.chip(), &Maxwell);
+  // Alignment now follows the new chip's patch size.
+  Mem.alloc(1);
+  const Addr Second = Mem.alloc(1);
+  EXPECT_EQ(Second % Maxwell.PatchSizeWords, 0u);
+}
+
+TEST_F(MemoryFixture, ResetStateIsIndistinguishableFromFresh) {
+  // Drive the same deterministic op sequence on a fresh system and on a
+  // dirtied-then-reset one; every observable must match, including drain
+  // timing (which depends on RNG consumption and stall state).
+  auto Drive = [](MemorySystem &M) {
+    std::vector<Word> Obs;
+    M.registerThreads(4);
+    const Addr A = M.alloc(256);
+    M.store(0, 0, A, 1);
+    M.store(0, 0, A + 64, 2);      // Different bank on titan.
+    M.store(1, 1, A + 1, 3);
+    Obs.push_back(M.load(1, 1, A + 1)); // Forwarded.
+    M.issueAsyncLoad(2, A);
+    M.atomicAdd(3, A + 2, 5);
+    for (uint64_t T = 1; T != 64; ++T) {
+      M.tick(T);
+      Obs.push_back(M.hostRead(A));
+      Obs.push_back(M.hostRead(A + 64));
+    }
+    M.drainAll();
+    for (Addr W = A; W != A + 70; ++W)
+      Obs.push_back(M.hostRead(W));
+    Obs.push_back(static_cast<Word>(M.stats().DrainedStores));
+    return Obs;
+  };
+
+  Rng FreshRng(77);
+  MemorySystem Fresh(titan(), FreshRng);
+
+  Rng ReusedRng(1234);
+  MemorySystem Reused(titan(), ReusedRng);
+  Drive(Reused); // Dirty it with a different-seeded history.
+  ReusedRng.reseed(77);
+  Reused.reset(titan());
+
+  EXPECT_EQ(Drive(Reused), Drive(Fresh));
+}

@@ -69,11 +69,16 @@ const sim::ChipProfile *chipOrDie(const Options &Opts) {
   return Chip;
 }
 
+/// Upper bound on --jobs: far beyond any useful worker count, but small
+/// enough that narrowing to unsigned can never truncate.
+constexpr int64_t MaxJobs = 1 << 16;
+
 /// The worker pool every subcommand draws from: --jobs, else GPUWMM_JOBS,
-/// else all cores.
+/// else all cores. --jobs is validated up front in main() for every
+/// command; 0 here means "auto".
 ThreadPool makePool(const Options &Opts) {
-  const int64_t Jobs = Opts.getInt("jobs", 0);
-  return ThreadPool(Jobs > 0 ? static_cast<unsigned>(Jobs) : 0);
+  const int64_t Jobs = Opts.getPositiveInt("jobs", 0, MaxJobs);
+  return ThreadPool(static_cast<unsigned>(Jobs));
 }
 
 /// Splits "a,b,c" into its elements; empty string -> empty vector.
@@ -322,6 +327,9 @@ int main(int Argc, char **Argv) {
     return usage();
   const char *Cmd = Argv[1];
   Options Opts(Argc, Argv);
+  // --jobs is a common option: validate it for every command (exits with
+  // a clear error on 0, negative, non-numeric or absurdly large values).
+  (void)Opts.getPositiveInt("jobs", 0, MaxJobs);
   if (!std::strcmp(Cmd, "chips"))
     return cmdChips();
   if (!std::strcmp(Cmd, "litmus"))
