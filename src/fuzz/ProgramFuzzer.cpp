@@ -267,6 +267,8 @@ FuzzResult fuzz::fuzzProgram(const Program &P,
       ScSeen.insert(O);
       continue;
     }
+    if (Result.WeakOutcomes == 0)
+      Result.FirstWeak = O;
     ++Result.WeakOutcomes;
     WeakSeen.insert(O);
   }

@@ -94,6 +94,10 @@ struct FuzzResult {
   unsigned DistinctWeak = 0;     ///< Distinct non-SC outcomes seen.
   unsigned DistinctScSeen = 0;   ///< Distinct SC outcomes seen.
   size_t ScSetSize = 0;
+  /// The first non-SC outcome observed — the outcome a `.litmus` export
+  /// pins as forbidden (fuzz/LitmusBridge.h). Meaningful only when
+  /// WeakOutcomes > 0.
+  Outcome FirstWeak;
 };
 
 /// Runs \p P repeatedly on the weak machine and classifies outcomes

@@ -2,6 +2,7 @@
 
 #include "harness/Campaign.h"
 
+#include <algorithm>
 #include <cassert>
 #include <ostream>
 
@@ -40,6 +41,16 @@ uint64_t canonicalAppIndex(apps::AppKind App) {
   return 0;
 }
 
+/// Canonical position of \p Test in the litmus catalog.
+uint64_t canonicalLitmusIndex(const litmus::Program &Test) {
+  const auto &All = litmus::catalog();
+  for (size_t I = 0; I != All.size(); ++I)
+    if (All[I].Name == Test.Name)
+      return I;
+  assert(false && "litmus test not in the catalog");
+  return 0;
+}
+
 } // namespace
 
 CampaignConfig CampaignConfig::full() {
@@ -68,6 +79,18 @@ uint64_t harness::campaignCellSeed(uint64_t Seed,
       (canonicalChipIndex(Chip) * NumEnvs + canonicalEnvIndex(Env)) *
           NumApps +
       canonicalAppIndex(App);
+  return Rng::deriveStream(Seed, Packed);
+}
+
+uint64_t harness::campaignLitmusSeed(uint64_t Seed,
+                                     const sim::ChipProfile &Chip,
+                                     const litmus::Program &Test) {
+  // A stream space disjoint from the app cells' (whose packed indices are
+  // bounded by the full grid size, far below 1 << 20).
+  const uint64_t Packed =
+      (uint64_t{1} << 20) +
+      canonicalChipIndex(Chip) * litmus::catalog().size() +
+      canonicalLitmusIndex(Test);
   return Rng::deriveStream(Seed, Packed);
 }
 
@@ -129,6 +152,37 @@ CampaignReport harness::runCampaign(const CampaignConfig &Config,
     }
   }
 
+  // Litmus cells: for each (chip, test), the `gpuwmm litmus --stress`
+  // scan — Runs executions per per-bank stress location, best location's
+  // weak count — at the chip's default distance. Each cell owns a
+  // canonical-identity seed, so results are job-count independent and a
+  // sub-selection reproduces the full selection.
+  if (!Config.LitmusTests.empty()) {
+    Report.LitmusCells.resize(Config.Chips.size() *
+                              Config.LitmusTests.size());
+    parallelFor(Pool, Report.LitmusCells.size(), [&](size_t I) {
+      const sim::ChipProfile &Chip =
+          *Config.Chips[I / Config.LitmusTests.size()];
+      const litmus::Program &Test =
+          *Config.LitmusTests[I % Config.LitmusTests.size()];
+      LitmusCampaignCell &Cell = Report.LitmusCells[I];
+      Cell.Chip = &Chip;
+      Cell.Test = &Test;
+      Cell.Runs = Config.Runs;
+      const auto Tuned = stress::TunedStressParams::paperDefaults(Chip);
+      litmus::LitmusRunner Runner(
+          Chip, campaignLitmusSeed(Config.Seed, Chip, Test));
+      const unsigned Distance = 2 * Chip.PatchSizeWords;
+      for (unsigned Region = 0; Region != Chip.NumBanks; ++Region)
+        Cell.Weak = std::max(
+            Cell.Weak,
+            Runner.countWeak(Test, Distance,
+                             litmus::LitmusRunner::MicroStress::at(
+                                 Tuned.Seq, Region * Tuned.PatchWords),
+                             Config.Runs));
+    });
+  }
+
   // Tab. 5 "a/b" summaries, one per (chip, env) in cell order.
   Report.Summaries.resize(Config.Chips.size() * Config.Envs.size());
   for (size_t CellIdx = 0; CellIdx != Report.Cells.size(); ++CellIdx) {
@@ -158,6 +212,20 @@ void harness::writeCampaignJson(const CampaignReport &Report,
   for (size_t I = 0; I != Config.Apps.size(); ++I)
     OS << (I ? ", " : "") << '"' << apps::appName(Config.Apps[I]) << '"';
   OS << "],\n";
+
+  // The litmus dimension is optional; an empty selection leaves the
+  // report byte-identical to a pre-litmus campaign (pinned goldens).
+  if (!Report.LitmusCells.empty()) {
+    OS << "  \"litmus\": [\n";
+    for (size_t I = 0; I != Report.LitmusCells.size(); ++I) {
+      const LitmusCampaignCell &Cell = Report.LitmusCells[I];
+      OS << "    {\"chip\": \"" << Cell.Chip->ShortName
+         << "\", \"test\": \"" << Cell.Test->Name
+         << "\", \"runs\": " << Cell.Runs << ", \"weak\": " << Cell.Weak
+         << "}" << (I + 1 == Report.LitmusCells.size() ? "" : ",") << "\n";
+    }
+    OS << "  ],\n";
+  }
 
   OS << "  \"cells\": [\n";
   for (size_t I = 0; I != Report.Cells.size(); ++I) {

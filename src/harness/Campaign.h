@@ -23,6 +23,7 @@
 #define GPUWMM_HARNESS_CAMPAIGN_H
 
 #include "harness/EnvironmentRunner.h"
+#include "litmus/Litmus.h"
 
 #include <iosfwd>
 #include <vector>
@@ -36,6 +37,10 @@ struct CampaignConfig {
   std::vector<const sim::ChipProfile *> Chips;
   std::vector<stress::Environment> Envs;
   std::vector<apps::AppKind> Apps;
+  /// Litmus catalog tests to run per chip alongside the app grid
+  /// (gpuwmm campaign --litmus=a,b). Empty (the default) leaves the
+  /// report byte-identical to a pre-litmus campaign.
+  std::vector<const litmus::Program *> LitmusTests;
   unsigned Runs = 100;
   uint64_t Seed = 1;
 
@@ -51,12 +56,23 @@ struct CampaignCell {
   CellResult Result;
 };
 
+/// One (chip, litmus test) cell: the best per-bank stress location's weak
+/// count over Runs executions at the chip's default distance — the same
+/// scan `gpuwmm litmus --stress` performs.
+struct LitmusCampaignCell {
+  const sim::ChipProfile *Chip = nullptr;
+  const litmus::Program *Test = nullptr;
+  unsigned Runs = 0;
+  unsigned Weak = 0;
+};
+
 /// A completed campaign: cells in chip-major (chip, env, app) order plus
 /// the per-(chip, env) Tab. 5 "a/b" summaries in matching order.
 struct CampaignReport {
   CampaignConfig Config;
   std::vector<CampaignCell> Cells;
   std::vector<EnvironmentSummary> Summaries; ///< Chips.size()*Envs.size().
+  std::vector<LitmusCampaignCell> LitmusCells; ///< Chip-major, test order.
 
   const EnvironmentSummary &summary(size_t ChipIdx, size_t EnvIdx) const {
     return Summaries[ChipIdx * Config.Envs.size() + EnvIdx];
@@ -68,6 +84,12 @@ struct CampaignReport {
 /// against direct runCell calls.
 uint64_t campaignCellSeed(uint64_t Seed, const sim::ChipProfile &Chip,
                           const stress::Environment &Env, apps::AppKind App);
+
+/// The seed of litmus cell (Chip, Test), derived from canonical chip and
+/// catalog positions (disjoint from the app cells' stream space), so a
+/// litmus sub-selection reproduces the full selection's cells.
+uint64_t campaignLitmusSeed(uint64_t Seed, const sim::ChipProfile &Chip,
+                            const litmus::Program &Test);
 
 /// Runs the whole grid, distributing the flattened (cell, run) index space
 /// over \p Pool (serial when null).

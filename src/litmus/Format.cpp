@@ -1,0 +1,658 @@
+//===- litmus/Format.cpp - The .litmus text format ----------------------------===//
+
+#include "litmus/Format.h"
+
+#include <cctype>
+#include <sstream>
+
+using namespace gpuwmm;
+using namespace gpuwmm::litmus;
+using sim::Word;
+
+std::string ParseError::render(std::string_view Filename) const {
+  std::ostringstream OS;
+  OS << Filename << ":" << Line << ":" << Col << ": error: " << Message;
+  return OS.str();
+}
+
+//===----------------------------------------------------------------------===//
+// Tokenizer
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// True for the characters that make up bare words: identifiers, numbers
+/// and names like "2+2W" or "fence?".
+bool isWordChar(char C) {
+  return std::isalnum(static_cast<unsigned char>(C)) || C == '_' ||
+         C == '+' || C == '.' || C == '-' || C == '?';
+}
+
+/// Keywords and mnemonics. Reserved: they terminate the 'locations' name
+/// list and cannot name a location or register.
+bool isReserved(const std::string &Word) {
+  static const char *const Reserved[] = {
+      "litmus", "locations", "init",  "jitter", "thread", "block",
+      "forbidden", "st", "ld", "ldasync", "await", "add", "fence",
+      "fence?"};
+  for (const char *R : Reserved)
+    if (Word == R)
+      return true;
+  return false;
+}
+
+struct Token {
+  enum class Kind { Word, Number, String, LBrace, RBrace, Eq, Ne, At, And,
+                    End };
+  Kind K = Kind::End;
+  std::string Text;    ///< Word/String contents; punctuation spelling.
+  uint64_t Value = 0;  ///< For Number.
+  unsigned Line = 1, Col = 1;
+};
+
+/// Splits the document into tokens, tracking 1-based line/column and
+/// skipping '#' comments. Produces one trailing End token.
+class Lexer {
+public:
+  explicit Lexer(std::string_view Text) : Text(Text) {}
+
+  /// Lexes the next token; returns false on a bad character, filling Err.
+  bool lex(Token &T, ParseError &Err) {
+    skip();
+    T = Token();
+    T.Line = Line;
+    T.Col = Col;
+    if (Pos == Text.size()) {
+      T.K = Token::Kind::End;
+      return true;
+    }
+    const char C = Text[Pos];
+    switch (C) {
+    case '{':
+      return punct(T, Token::Kind::LBrace, "{");
+    case '}':
+      return punct(T, Token::Kind::RBrace, "}");
+    case '=':
+      return punct(T, Token::Kind::Eq, "=");
+    case '@':
+      return punct(T, Token::Kind::At, "@");
+    case '!':
+      if (Pos + 1 < Text.size() && Text[Pos + 1] == '=') {
+        advance();
+        return punct(T, Token::Kind::Ne, "!=");
+      }
+      return fail(Err, "stray '!' (did you mean '!='?)");
+    case '/':
+      if (Pos + 1 < Text.size() && Text[Pos + 1] == '\\') {
+        advance();
+        return punct(T, Token::Kind::And, "/\\");
+      }
+      return fail(Err, "stray '/' (did you mean '/\\'?)");
+    case '"': {
+      advance();
+      T.K = Token::Kind::String;
+      while (Pos != Text.size() && Text[Pos] != '"' && Text[Pos] != '\n')
+        T.Text.push_back(take());
+      if (Pos == Text.size() || Text[Pos] != '"') {
+        // Report at the opening quote, not where the line ran out.
+        Err = {T.Line, T.Col, "unterminated string"};
+        return false;
+      }
+      advance();
+      return true;
+    }
+    default:
+      break;
+    }
+    if (!isWordChar(C)) {
+      std::string M = "unexpected character '";
+      M += C;
+      M += "'";
+      return fail(Err, M);
+    }
+    while (Pos != Text.size() && isWordChar(Text[Pos]))
+      T.Text.push_back(take());
+    // A word made purely of digits is a number.
+    bool AllDigits = true;
+    for (char W : T.Text)
+      AllDigits &= std::isdigit(static_cast<unsigned char>(W)) != 0;
+    if (AllDigits) {
+      T.K = Token::Kind::Number;
+      T.Value = 0;
+      for (char W : T.Text) {
+        T.Value = T.Value * 10 + static_cast<uint64_t>(W - '0');
+        if (T.Value > UINT32_MAX)
+          return fail(Err, "integer '" + T.Text + "' does not fit a word");
+      }
+    } else {
+      T.K = Token::Kind::Word;
+    }
+    return true;
+  }
+
+private:
+  void skip() {
+    while (Pos != Text.size()) {
+      const char C = Text[Pos];
+      if (C == '#') {
+        while (Pos != Text.size() && Text[Pos] != '\n')
+          advance();
+      } else if (std::isspace(static_cast<unsigned char>(C))) {
+        advance();
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool punct(Token &T, Token::Kind K, const char *Spelling) {
+    T.K = K;
+    T.Text = Spelling;
+    advance();
+    return true;
+  }
+
+  bool fail(ParseError &Err, std::string Message) {
+    Err = {Line, Col, std::move(Message)};
+    return false;
+  }
+
+  char take() {
+    const char C = Text[Pos];
+    advance();
+    return C;
+  }
+
+  void advance() {
+    if (Text[Pos] == '\n') {
+      ++Line;
+      Col = 1;
+    } else {
+      ++Col;
+    }
+    ++Pos;
+  }
+
+  std::string_view Text;
+  size_t Pos = 0;
+  unsigned Line = 1, Col = 1;
+};
+
+//===----------------------------------------------------------------------===//
+// Parser
+//===----------------------------------------------------------------------===//
+
+class Parser {
+public:
+  Parser(std::string_view Text, ParseError &Err) : Lex(Text), Err(Err) {}
+
+  std::optional<Program> run() {
+    if (!next())
+      return std::nullopt;
+    if (!expectKeyword("litmus", "every test starts with 'litmus <name>'"))
+      return std::nullopt;
+    if (!parseName(P.Name))
+      return std::nullopt;
+    while (Tok.K != Token::Kind::End) {
+      if (Tok.K != Token::Kind::Word)
+        return errHere("expected a section ('locations', 'init', "
+                       "'jitter', 'thread' or 'forbidden'), got " +
+                       describe());
+      const std::string Kw = Tok.Text;
+      if (Kw == "locations") {
+        if (!parseLocations())
+          return std::nullopt;
+      } else if (Kw == "init") {
+        if (!parseInit())
+          return std::nullopt;
+      } else if (Kw == "jitter") {
+        if (!parseJitter())
+          return std::nullopt;
+      } else if (Kw == "thread") {
+        if (!parseThread())
+          return std::nullopt;
+      } else if (Kw == "forbidden") {
+        if (!parseForbidden())
+          return std::nullopt;
+      } else {
+        return errHere("unknown section '" + Kw + "'");
+      }
+    }
+    if (P.Locations.empty())
+      return errAt(1, 1, "missing 'locations' section");
+    if (P.Threads.empty())
+      return errAt(1, 1, "test has no threads");
+    if (std::string Problem = P.validate(); !Problem.empty())
+      return errAt(1, 1, Problem);
+    return std::move(P);
+  }
+
+private:
+  // --- Sections ------------------------------------------------------------
+
+  bool parseLocations() {
+    const Token Kw = Tok;
+    if (!P.Locations.empty()) {
+      err(Kw, "duplicate 'locations' section");
+      return false;
+    }
+    if (!next())
+      return false;
+    while (Tok.K == Token::Kind::Word && !isReserved(Tok.Text)) {
+      if (P.findLocation(Tok.Text) >= 0) {
+        err(Tok, "duplicate location '" + Tok.Text + "'");
+        return false;
+      }
+      P.Locations.push_back(Tok.Text);
+      if (!next())
+        return false;
+    }
+    if (P.Locations.empty()) {
+      err(Kw, "'locations' declares no locations");
+      return false;
+    }
+    P.Init.assign(P.Locations.size(), 0);
+    return true;
+  }
+
+  bool parseInit() {
+    if (SawInit) {
+      err(Tok, "duplicate 'init' section");
+      return false;
+    }
+    SawInit = true;
+    if (!requireLocations("'init'"))
+      return false;
+    if (!next() || !expect(Token::Kind::LBrace, "'{' after 'init'"))
+      return false;
+    while (Tok.K != Token::Kind::RBrace) {
+      int Loc = -1;
+      if (!parseLocationRef(Loc, "in 'init'"))
+        return false;
+      if (!expect(Token::Kind::Eq, "'=' after the location"))
+        return false;
+      Word V = 0;
+      if (!parseWord(V))
+        return false;
+      P.Init[static_cast<size_t>(Loc)] = V;
+    }
+    return next(); // Consume '}'.
+  }
+
+  bool parseJitter() {
+    if (!next())
+      return false;
+    Word V = 0;
+    const Token At = Tok;
+    if (!parseWord(V))
+      return false;
+    if (V == 0) {
+      err(At, "jitter must be positive");
+      return false;
+    }
+    P.PhaseJitter = static_cast<unsigned>(V);
+    return true;
+  }
+
+  bool parseThread() {
+    if (!requireLocations("'thread'"))
+      return false;
+    if (!next())
+      return false;
+    Word Index = 0;
+    const Token IndexTok = Tok;
+    if (!parseWord(Index))
+      return false;
+    if (Index != P.Threads.size()) {
+      err(IndexTok, "expected thread " + std::to_string(P.Threads.size()) +
+                        " (threads are numbered in order), got " +
+                        std::to_string(Index));
+      return false;
+    }
+    ProgThread T;
+    T.Block = static_cast<unsigned>(Index);
+    if (Tok.K == Token::Kind::At) {
+      if (!next() ||
+          !expectKeyword("block", "'block' after '@'"))
+        return false;
+      Word B = 0;
+      if (!parseWord(B))
+        return false;
+      T.Block = static_cast<unsigned>(B);
+    }
+    if (!expect(Token::Kind::LBrace, "'{' to open the thread body"))
+      return false;
+    while (Tok.K != Token::Kind::RBrace) {
+      ProgOp O;
+      if (!parseOp(O))
+        return false;
+      T.Ops.push_back(O);
+    }
+    if (T.Ops.empty()) {
+      err(Tok, "thread " + std::to_string(Index) + " has no ops");
+      return false;
+    }
+    P.Threads.push_back(std::move(T));
+    return next(); // Consume '}'.
+  }
+
+  bool parseOp(ProgOp &O) {
+    if (Tok.K != Token::Kind::Word) {
+      errHere("expected an op ('st', 'ld', 'ldasync', 'await', 'add', "
+              "'fence' or 'fence?'), got " +
+              describe());
+      return false;
+    }
+    const Token Mnemonic = Tok;
+    const std::string M = Tok.Text;
+    if (!next())
+      return false;
+    int Loc = -1;
+    if (M == "st" || M == "add") {
+      Word V = 0;
+      if (!parseLocationRef(Loc, "after '" + M + "'") || !parseWord(V))
+        return false;
+      O = M == "st" ? ProgOp::store(static_cast<unsigned>(Loc), V)
+                    : ProgOp::atomicAdd(static_cast<unsigned>(Loc), V);
+      return true;
+    }
+    if (M == "ld" || M == "ldasync") {
+      unsigned Reg = 0;
+      if (!parseRegisterDef(Reg) ||
+          !parseLocationRef(Loc, "after the register"))
+        return false;
+      O = M == "ld" ? ProgOp::load(Reg, static_cast<unsigned>(Loc))
+                    : ProgOp::asyncLoad(Reg, static_cast<unsigned>(Loc));
+      return true;
+    }
+    if (M == "await") {
+      if (Tok.K != Token::Kind::Word) {
+        errHere("expected a register after 'await', got " + describe());
+        return false;
+      }
+      const int Reg = P.findRegister(Tok.Text);
+      if (Reg < 0) {
+        err(Tok, "'await' of unknown register '" + Tok.Text + "'");
+        return false;
+      }
+      O = ProgOp::awaitLoad(static_cast<unsigned>(Reg));
+      return next();
+    }
+    if (M == "fence") {
+      O = ProgOp::fence();
+      return true;
+    }
+    if (M == "fence?") {
+      O = ProgOp::optFence();
+      return true;
+    }
+    err(Mnemonic, "unknown op '" + M + "'");
+    return false;
+  }
+
+  bool parseForbidden() {
+    if (!P.Forbidden.empty()) {
+      err(Tok, "duplicate 'forbidden' section");
+      return false;
+    }
+    if (!requireLocations("'forbidden'"))
+      return false;
+    if (!next())
+      return false;
+    while (true) {
+      CondAtom A;
+      if (Tok.K != Token::Kind::Word) {
+        errHere("expected a register or location in 'forbidden', got " +
+                describe());
+        return false;
+      }
+      const int Reg = P.findRegister(Tok.Text);
+      const int Loc = P.findLocation(Tok.Text);
+      if (Reg < 0 && Loc < 0) {
+        err(Tok, "unknown register or location '" + Tok.Text +
+                     "' in 'forbidden'");
+        return false;
+      }
+      A.IsReg = Reg >= 0;
+      A.Index = static_cast<unsigned>(A.IsReg ? Reg : Loc);
+      if (!next())
+        return false;
+      if (Tok.K == Token::Kind::Ne)
+        A.Negated = true;
+      else if (Tok.K != Token::Kind::Eq) {
+        errHere("expected '=' or '!=' in 'forbidden', got " + describe());
+        return false;
+      }
+      if (!next() || !parseWord(A.Value))
+        return false;
+      P.Forbidden.push_back(A);
+      if (Tok.K != Token::Kind::And)
+        return true;
+      if (!next())
+        return false;
+    }
+  }
+
+  // --- Primitives ----------------------------------------------------------
+
+  bool parseName(std::string &Out) {
+    if (Tok.K != Token::Kind::Word && Tok.K != Token::Kind::String &&
+        Tok.K != Token::Kind::Number) {
+      errHere("expected a test name, got " + describe());
+      return false;
+    }
+    Out = Tok.Text;
+    if (Out.empty()) {
+      errHere("test name must not be empty");
+      return false;
+    }
+    return next();
+  }
+
+  /// An existing location name; fails with position otherwise.
+  bool parseLocationRef(int &Loc, const std::string &Where) {
+    if (Tok.K != Token::Kind::Word) {
+      errHere("expected a location " + Where + ", got " + describe());
+      return false;
+    }
+    Loc = P.findLocation(Tok.Text);
+    if (Loc < 0) {
+      err(Tok, "unknown location '" + Tok.Text + "' " + Where);
+      return false;
+    }
+    return next();
+  }
+
+  /// A register name at a load destination: declared on first use.
+  bool parseRegisterDef(unsigned &Reg) {
+    if (Tok.K != Token::Kind::Word) {
+      errHere("expected a register, got " + describe());
+      return false;
+    }
+    if (isReserved(Tok.Text)) {
+      err(Tok, "'" + Tok.Text + "' is a reserved word, not a register");
+      return false;
+    }
+    if (P.findLocation(Tok.Text) >= 0) {
+      err(Tok, "'" + Tok.Text + "' is a location, not a register");
+      return false;
+    }
+    const int Existing = P.findRegister(Tok.Text);
+    if (Existing >= 0) {
+      Reg = static_cast<unsigned>(Existing);
+    } else {
+      P.Registers.push_back(Tok.Text);
+      Reg = static_cast<unsigned>(P.Registers.size() - 1);
+    }
+    return next();
+  }
+
+  bool parseWord(Word &V) {
+    if (Tok.K != Token::Kind::Number) {
+      errHere("expected an integer, got " + describe());
+      return false;
+    }
+    V = static_cast<Word>(Tok.Value);
+    return next();
+  }
+
+  bool requireLocations(const std::string &Section) {
+    if (!P.Locations.empty())
+      return true;
+    err(Tok, Section + " must come after 'locations'");
+    return false;
+  }
+
+  bool expect(Token::Kind K, const std::string &What) {
+    if (Tok.K != K) {
+      errHere("expected " + What + ", got " + describe());
+      return false;
+    }
+    return next();
+  }
+
+  bool expectKeyword(const std::string &Kw, const std::string &What) {
+    if (Tok.K != Token::Kind::Word || Tok.Text != Kw) {
+      errHere("expected " + What + ", got " + describe());
+      return false;
+    }
+    return next();
+  }
+
+  std::string describe() const {
+    switch (Tok.K) {
+    case Token::Kind::End:
+      return "end of file";
+    case Token::Kind::String:
+      return "\"" + Tok.Text + "\"";
+    default:
+      return "'" + Tok.Text + "'";
+    }
+  }
+
+  bool next() { return Lex.lex(Tok, Err); }
+
+  void err(const Token &At, std::string Message) {
+    Err = {At.Line, At.Col, std::move(Message)};
+  }
+  std::optional<Program> errHere(std::string Message) {
+    err(Tok, std::move(Message));
+    return std::nullopt;
+  }
+  std::optional<Program> errAt(unsigned Line, unsigned Col,
+                               std::string Message) {
+    Err = {Line, Col, std::move(Message)};
+    return std::nullopt;
+  }
+
+  Lexer Lex;
+  ParseError &Err;
+  Token Tok;
+  Program P;
+  bool SawInit = false;
+};
+
+} // namespace
+
+std::optional<Program> litmus::parseLitmus(std::string_view Text,
+                                           ParseError &Err) {
+  return Parser(Text, Err).run();
+}
+
+//===----------------------------------------------------------------------===//
+// Printer
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// True when \p Name round-trips as a bare word token.
+bool printableBare(const std::string &Name) {
+  // Bare digits lex as a number token, which the name rule also accepts.
+  if (Name.empty())
+    return false;
+  for (char C : Name)
+    if (!isWordChar(C))
+      return false;
+  return true;
+}
+
+} // namespace
+
+std::string litmus::printLitmus(const Program &P) {
+  std::ostringstream OS;
+  if (!P.Doc.empty())
+    OS << "# " << P.Doc << "\n";
+  OS << "litmus ";
+  if (printableBare(P.Name))
+    OS << P.Name;
+  else
+    OS << '"' << P.Name << '"';
+  OS << "\nlocations";
+  for (const std::string &L : P.Locations)
+    OS << " " << L;
+  OS << "\n";
+
+  bool AnyInit = false;
+  for (Word V : P.Init)
+    AnyInit |= V != 0;
+  if (AnyInit) {
+    OS << "init {";
+    for (size_t I = 0; I != P.Init.size(); ++I)
+      if (P.Init[I] != 0)
+        OS << " " << P.Locations[I] << " = " << P.Init[I];
+    OS << " }\n";
+  }
+  if (P.PhaseJitter != 24)
+    OS << "jitter " << P.PhaseJitter << "\n";
+
+  for (size_t TI = 0; TI != P.Threads.size(); ++TI) {
+    const ProgThread &T = P.Threads[TI];
+    OS << "\nthread " << TI;
+    if (T.Block != TI)
+      OS << " @ block " << T.Block;
+    OS << " {\n";
+    for (const ProgOp &O : T.Ops) {
+      OS << "  ";
+      switch (O.K) {
+      case ProgOp::Kind::Store:
+        OS << "st " << P.Locations[O.Loc] << " " << O.Value;
+        break;
+      case ProgOp::Kind::Load:
+        OS << "ld " << P.Registers[O.Reg] << " " << P.Locations[O.Loc];
+        break;
+      case ProgOp::Kind::AsyncLoad:
+        OS << "ldasync " << P.Registers[O.Reg] << " "
+           << P.Locations[O.Loc];
+        break;
+      case ProgOp::Kind::AwaitLoad:
+        OS << "await " << P.Registers[O.Reg];
+        break;
+      case ProgOp::Kind::AtomicAdd:
+        OS << "add " << P.Locations[O.Loc] << " " << O.Value;
+        break;
+      case ProgOp::Kind::Fence:
+        OS << "fence";
+        break;
+      case ProgOp::Kind::OptFence:
+        OS << "fence?";
+        break;
+      }
+      OS << "\n";
+    }
+    OS << "}\n";
+  }
+
+  if (!P.Forbidden.empty()) {
+    OS << "\nforbidden";
+    for (size_t I = 0; I != P.Forbidden.size(); ++I) {
+      const CondAtom &A = P.Forbidden[I];
+      if (I)
+        OS << " /\\";
+      OS << " "
+         << (A.IsReg ? P.Registers[A.Index] : P.Locations[A.Index])
+         << (A.Negated ? " != " : " = ") << A.Value;
+    }
+    OS << "\n";
+  }
+  return OS.str();
+}

@@ -1,0 +1,50 @@
+//===- litmus/Format.h - The .litmus text format ----------------*- C++ -*-===//
+//
+// Part of the gpuwmm project, a reproduction of "Exposing Errors Related to
+// Weak Memory in GPU Applications" (Sorensen & Donaldson, PLDI 2016).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parser and printer for the herd-style `.litmus` text format — the
+/// on-disk form of litmus::Program. The grammar and its semantics are
+/// specified in docs/litmus-format.md; shipped examples live under
+/// examples/litmus/. Parsing and printing round-trip: for any valid
+/// program P, parse(print(P)) == P.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUWMM_LITMUS_FORMAT_H
+#define GPUWMM_LITMUS_FORMAT_H
+
+#include "litmus/Program.h"
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace gpuwmm {
+namespace litmus {
+
+/// A parse failure with its source position (1-based line and column).
+struct ParseError {
+  unsigned Line = 0;
+  unsigned Col = 0;
+  std::string Message;
+
+  /// "file.litmus:3:7: error: ..." (a clickable compiler-style location).
+  std::string render(std::string_view Filename) const;
+};
+
+/// Parses one `.litmus` document. On failure returns std::nullopt and
+/// fills \p Err with the first error's position and message. A returned
+/// program always satisfies Program::validate().
+std::optional<Program> parseLitmus(std::string_view Text, ParseError &Err);
+
+/// Prints \p P in canonical `.litmus` form (parse(printLitmus(P)) == P).
+std::string printLitmus(const Program &P);
+
+} // namespace litmus
+} // namespace gpuwmm
+
+#endif // GPUWMM_LITMUS_FORMAT_H

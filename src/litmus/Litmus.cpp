@@ -1,4 +1,13 @@
-//===- litmus/Litmus.cpp - GPU litmus tests ----------------------------------===//
+//===- litmus/Litmus.cpp - Litmus program interpreter -------------------------===//
+//
+// Executes litmus::Program tests on the simulated GPU. The interpreter
+// reproduces the op shape of the original hand-written Fig. 2 kernels
+// exactly — start-phase jitter, ops in order, then register writeback in
+// first-load order — so catalog programs for MP/LB/SB/R/S/2+2W execute
+// bit-identically to the historical enum-dispatched kernels (pinned by
+// LitmusTests' enum-vs-IR equality suite).
+//
+//===----------------------------------------------------------------------===//
 
 #include "litmus/Litmus.h"
 
@@ -33,127 +42,112 @@ const char *litmus::litmusName(LitmusKind K) {
   return "unknown";
 }
 
+const Program &litmus::catalogProgram(LitmusKind K) {
+  const Program *P = findCatalogProgram(litmusName(K));
+  assert(P && "every LitmusKind has a catalog program");
+  return *P;
+}
+
 namespace {
 
-/// Start-phase jitter so the two threads overlap at varying offsets, as
-/// occupancy and scheduling noise cause on real hardware.
-constexpr unsigned PhaseJitter = 24;
+/// A launched lane with no program thread (uneven block placement).
+Kernel idleThread(ThreadContext &) { co_return; }
 
-// --- Message Passing (MP) ---------------------------------------------------
-// T1: x <- 1; y <- 1     T2: r1 <- y; r2 <- x     weak: r1 = 1 && r2 = 0
-
-Kernel mpWriter(ThreadContext &Ctx, Addr X, Addr Y, bool Fenced) {
-  co_await Ctx.yield(1 + static_cast<unsigned>(Ctx.rand(PhaseJitter)));
-  co_await Ctx.st(X, 1);
-  if (Fenced)
-    co_await Ctx.fence();
-  co_await Ctx.st(Y, 1);
+/// Interprets one program thread. The issue sequence matches the original
+/// hand-written kernels: one start-phase yield with random jitter, the ops
+/// in program order (an OptFence's fence exists only in fenced runs), and
+/// finally each register the thread loaded into is stored to its result
+/// slot, in first-load order.
+///
+/// \p Regs is shared across the program's threads; every register has
+/// exactly one loading thread (Program::validate), so slots are
+/// single-writer. For a split-phase load the slot holds the ticket until
+/// the matching await replaces it with the loaded value.
+Kernel interpretThread(ThreadContext &Ctx, const ProgThread *T,
+                       const std::vector<Addr> *LocAddr, Addr Results,
+                       unsigned Jitter, bool Fenced, std::vector<Word> *Regs,
+                       const std::vector<unsigned> *Writeback) {
+  co_await Ctx.yield(1 + static_cast<unsigned>(Ctx.rand(Jitter)));
+  for (const ProgOp &O : T->Ops) {
+    switch (O.K) {
+    case ProgOp::Kind::Store:
+      co_await Ctx.st((*LocAddr)[O.Loc], O.Value);
+      break;
+    case ProgOp::Kind::Load:
+      (*Regs)[O.Reg] = co_await Ctx.ld((*LocAddr)[O.Loc]);
+      break;
+    case ProgOp::Kind::AsyncLoad:
+      (*Regs)[O.Reg] = co_await Ctx.ldAsync((*LocAddr)[O.Loc]);
+      break;
+    case ProgOp::Kind::AwaitLoad:
+      (*Regs)[O.Reg] = co_await Ctx.awaitLoad((*Regs)[O.Reg]);
+      break;
+    case ProgOp::Kind::AtomicAdd:
+      co_await Ctx.atomicAdd((*LocAddr)[O.Loc], O.Value);
+      break;
+    case ProgOp::Kind::Fence:
+      co_await Ctx.fence();
+      break;
+    case ProgOp::Kind::OptFence:
+      if (Fenced)
+        co_await Ctx.fence();
+      break;
+    }
+  }
+  for (unsigned R : *Writeback)
+    co_await Ctx.st(Results + R, (*Regs)[R]);
 }
 
-Kernel mpReader(ThreadContext &Ctx, Addr X, Addr Y, Addr R0, Addr R1,
-                bool Fenced) {
-  co_await Ctx.yield(1 + static_cast<unsigned>(Ctx.rand(PhaseJitter)));
-  const Word A = co_await Ctx.ld(Y);
-  if (Fenced)
-    co_await Ctx.fence();
-  const Word B = co_await Ctx.ld(X);
-  co_await Ctx.st(R0, A);
-  co_await Ctx.st(R1, B);
-}
-
-// --- Load Buffering (LB) ----------------------------------------------------
-// T1: r1 <- x; y <- 1    T2: r2 <- y; x <- 1      weak: r1 = 1 && r2 = 1
-//
-// The load is issued split-phase: hardware may satisfy it after the
-// program-order-later store has become visible, which is exactly the LB
-// reordering. A fence forces completion before the store.
-
-Kernel lbThread(ThreadContext &Ctx, Addr LoadFrom, Addr StoreTo, Addr ROut,
-                bool Fenced) {
-  co_await Ctx.yield(1 + static_cast<unsigned>(Ctx.rand(PhaseJitter)));
-  const Word Ticket = co_await Ctx.ldAsync(LoadFrom);
-  if (Fenced)
-    co_await Ctx.fence();
-  co_await Ctx.st(StoreTo, 1);
-  const Word V = co_await Ctx.awaitLoad(Ticket);
-  co_await Ctx.st(ROut, V);
-}
-
-// --- Store Buffering (SB) ---------------------------------------------------
-// T1: x <- 1; r1 <- y    T2: y <- 1; r2 <- x      weak: r1 = 0 && r2 = 0
-
-Kernel sbThread(ThreadContext &Ctx, Addr StoreTo, Addr LoadFrom, Addr ROut,
-                bool Fenced) {
-  co_await Ctx.yield(1 + static_cast<unsigned>(Ctx.rand(PhaseJitter)));
-  co_await Ctx.st(StoreTo, 1);
-  if (Fenced)
-    co_await Ctx.fence();
-  const Word V = co_await Ctx.ld(LoadFrom);
-  co_await Ctx.st(ROut, V);
-}
-
-// --- R ----------------------------------------------------------------------
-// T1: x <- 1; y <- 1    T2: y <- 2; r1 <- x
-// weak: y = 2 (final) && r1 = 0
-// (T2's write to y coherence-wins, yet T2 did not see T1's earlier x.)
-
-Kernel rWriter(ThreadContext &Ctx, Addr X, Addr Y, bool Fenced) {
-  co_await Ctx.yield(1 + static_cast<unsigned>(Ctx.rand(PhaseJitter)));
-  co_await Ctx.st(X, 1);
-  if (Fenced)
-    co_await Ctx.fence();
-  co_await Ctx.st(Y, 1);
-}
-
-Kernel rReader(ThreadContext &Ctx, Addr X, Addr Y, Addr ROut, bool Fenced) {
-  co_await Ctx.yield(1 + static_cast<unsigned>(Ctx.rand(PhaseJitter)));
-  co_await Ctx.st(Y, 2);
-  if (Fenced)
-    co_await Ctx.fence();
-  const Word V = co_await Ctx.ld(X);
-  co_await Ctx.st(ROut, V);
-}
-
-// --- S ----------------------------------------------------------------------
-// T1: x <- 2; y <- 1    T2: r1 <- y; x <- 1
-// weak: r1 = 1 && x = 2 (final)
-// Forbidden by this model's issue-ordered per-location coherence.
-
-Kernel sWriter(ThreadContext &Ctx, Addr X, Addr Y, bool Fenced) {
-  co_await Ctx.yield(1 + static_cast<unsigned>(Ctx.rand(PhaseJitter)));
-  co_await Ctx.st(X, 2);
-  if (Fenced)
-    co_await Ctx.fence();
-  co_await Ctx.st(Y, 1);
-}
-
-Kernel sReader(ThreadContext &Ctx, Addr X, Addr Y, Addr ROut, bool Fenced) {
-  co_await Ctx.yield(1 + static_cast<unsigned>(Ctx.rand(PhaseJitter)));
-  const Word V = co_await Ctx.ld(Y);
-  if (Fenced)
-    co_await Ctx.fence();
-  co_await Ctx.st(X, 1);
-  co_await Ctx.st(ROut, V);
-}
-
-// --- 2+2W -------------------------------------------------------------------
-// T1: x <- 1; y <- 2    T2: y <- 1; x <- 2
-// weak: x = 1 && y = 1 (finals; both first writes coherence-last)
-// Forbidden by this model's issue-ordered per-location coherence.
-
-Kernel twoPlusTwoW(ThreadContext &Ctx, Addr First, Addr Second,
-                   bool Fenced) {
-  co_await Ctx.yield(1 + static_cast<unsigned>(Ctx.rand(PhaseJitter)));
-  co_await Ctx.st(First, 1);
-  if (Fenced)
-    co_await Ctx.fence();
-  co_await Ctx.st(Second, 2);
-}
+/// Everything the dispatch lambda needs, bundled so the KernelFn
+/// captures one reference and stays within std::function's inline
+/// storage (no per-run allocation).
+struct RunState {
+  const Program *P;
+  const std::vector<std::vector<unsigned>> *Writeback;
+  const std::vector<int> *ThreadAt;
+  const std::vector<Addr> *LocAddr;
+  Addr Results;
+  unsigned BlockDim;
+  bool Fenced;
+  std::vector<Word> *Regs;
+};
 
 } // namespace
 
-bool LitmusRunner::runOnce(const LitmusInstance &T, const MicroStress &S,
-                           const RunOpts &Opts) {
+void LitmusRunner::rebuildPlan(const Program &P, unsigned Distance) {
+  Cached.P = &P;
+  Cached.Distance = Distance;
+  // A distance of 0 means contiguous locations (delta 1); locations
+  // never share an address.
+  Cached.Delta = Distance == 0 ? 1 : Distance;
+
+  // Per-thread register writeback lists (first-load order).
+  const unsigned NumThreads = static_cast<unsigned>(P.Threads.size());
+  Cached.Writeback.assign(NumThreads, {});
+  for (unsigned TI = 0; TI != NumThreads; ++TI)
+    for (const ProgOp &O : P.Threads[TI].Ops)
+      if (O.K == ProgOp::Kind::Load || O.K == ProgOp::Kind::AsyncLoad)
+        Cached.Writeback[TI].push_back(O.Reg);
+
+  // The lane dispatch table mapping (block, lane) to a program thread.
+  Cached.GridDim = P.numBlocks();
+  Cached.BlockDim = P.maxBlockThreads();
+  Cached.ThreadAt.assign(
+      static_cast<size_t>(Cached.GridDim) * Cached.BlockDim, -1);
+  std::vector<unsigned> NextLane(Cached.GridDim, 0);
+  for (unsigned TI = 0; TI != NumThreads; ++TI) {
+    const unsigned B = P.Threads[TI].Block;
+    Cached.ThreadAt[static_cast<size_t>(B) * Cached.BlockDim +
+                    NextLane[B]++] = static_cast<int>(TI);
+  }
+}
+
+bool LitmusRunner::runOnce(const Program &P, unsigned Distance,
+                           const MicroStress &S, const RunOpts &Opts) {
+  if (Cached.P != &P || Cached.Distance != Distance) {
+    assert(P.validate().empty() && "program must be well-formed");
+    rebuildPlan(P, Distance);
+  }
   Rng RunRng = Master.fork(Execs);
   ++Execs;
 
@@ -161,16 +155,24 @@ bool LitmusRunner::runOnce(const LitmusInstance &T, const MicroStress &S,
   Dev.setSequentialMode(Opts.Sequential);
   Dev.setRandomiseThreads(Opts.Randomise);
 
-  // x and y live in one allocation, delta words apart (T_d).
-  const unsigned Delta = T.addressDelta();
-  const Addr X = Dev.alloc(Delta + 1);
-  const Addr Y = X + Delta;
-  const Addr Results = Dev.alloc(2);
+  // All locations live in one allocation, delta words apart (T_d): the
+  // location list's order is the memory layout.
+  const unsigned Delta = Cached.Delta;
+  const unsigned NumLocs = static_cast<unsigned>(P.Locations.size());
+  const Addr Base = Dev.alloc((NumLocs - 1) * Delta + 1);
+  LocAddr.resize(NumLocs);
+  for (unsigned L = 0; L != NumLocs; ++L)
+    LocAddr[L] = Base + L * Delta;
+  const unsigned NumRegs = static_cast<unsigned>(P.Registers.size());
+  const Addr Results = Dev.alloc(std::max(NumRegs, 1u));
+  for (unsigned L = 0; L != NumLocs; ++L)
+    if (P.Init[L] != 0)
+      Dev.write(LocAddr[L], P.Init[L]);
 
   // Scratchpad and stress; the scratchpad is a real allocation so stressed
-  // locations occupy genuine banks downstream of x and y in the address
-  // space (the paper cannot control this distance either and designs the
-  // stress not to depend on it).
+  // locations occupy genuine banks downstream of the test locations in the
+  // address space (the paper cannot control this distance either and
+  // designs the stress not to depend on it).
   std::unique_ptr<stress::SysStress> Stress;
   if (S.Enabled) {
     assert(!S.ScratchOffsets.empty() && "stress without locations");
@@ -192,84 +194,39 @@ bool LitmusRunner::runOnce(const LitmusInstance &T, const MicroStress &S,
     Dev.setCongestionSource(Stress.get());
   }
 
-  const bool Fenced = Opts.WithFences;
-  sim::KernelFn Fn;
-  switch (T.Kind) {
-  case LitmusKind::MP:
-    Fn = [=](ThreadContext &Ctx) -> Kernel {
-      if (Ctx.blockIdx() == 0)
-        return mpWriter(Ctx, X, Y, Fenced);
-      return mpReader(Ctx, X, Y, Results, Results + 1, Fenced);
-    };
-    break;
-  case LitmusKind::LB:
-    Fn = [=](ThreadContext &Ctx) -> Kernel {
-      if (Ctx.blockIdx() == 0)
-        return lbThread(Ctx, X, Y, Results, Fenced);
-      return lbThread(Ctx, Y, X, Results + 1, Fenced);
-    };
-    break;
-  case LitmusKind::SB:
-    Fn = [=](ThreadContext &Ctx) -> Kernel {
-      if (Ctx.blockIdx() == 0)
-        return sbThread(Ctx, X, Y, Results, Fenced);
-      return sbThread(Ctx, Y, X, Results + 1, Fenced);
-    };
-    break;
-  case LitmusKind::R:
-    Fn = [=](ThreadContext &Ctx) -> Kernel {
-      if (Ctx.blockIdx() == 0)
-        return rWriter(Ctx, X, Y, Fenced);
-      return rReader(Ctx, X, Y, Results, Fenced);
-    };
-    break;
-  case LitmusKind::S:
-    Fn = [=](ThreadContext &Ctx) -> Kernel {
-      if (Ctx.blockIdx() == 0)
-        return sWriter(Ctx, X, Y, Fenced);
-      return sReader(Ctx, X, Y, Results, Fenced);
-    };
-    break;
-  case LitmusKind::TwoPlusTwoW:
-    Fn = [=](ThreadContext &Ctx) -> Kernel {
-      if (Ctx.blockIdx() == 0)
-        return twoPlusTwoW(Ctx, X, Y, Fenced);
-      return twoPlusTwoW(Ctx, Y, X, Fenced);
-    };
-    break;
-  }
+  Regs.assign(NumRegs, 0);
+  RunState RS{&P,      &Cached.Writeback, &Cached.ThreadAt, &LocAddr,
+              Results, Cached.BlockDim,   Opts.WithFences,  &Regs};
+  const sim::KernelFn Fn = [&RS](ThreadContext &TC) -> Kernel {
+    const int TI =
+        (*RS.ThreadAt)[static_cast<size_t>(TC.blockIdx()) * RS.BlockDim +
+                       TC.threadIdx()];
+    if (TI < 0)
+      return idleThread(TC);
+    return interpretThread(TC, &RS.P->Threads[TI], RS.LocAddr, RS.Results,
+                           RS.P->PhaseJitter, RS.Fenced, RS.Regs,
+                           &(*RS.Writeback)[TI]);
+  };
 
   const sim::RunResult Result =
-      Dev.run({/*GridDim=*/2, /*BlockDim=*/1}, Fn);
+      Dev.run({Cached.GridDim, Cached.BlockDim}, Fn);
   assert(Result.completed() && "litmus execution must terminate");
   (void)Result;
 
-  const Word R0 = Dev.read(Results);
-  const Word R1 = Dev.read(Results + 1);
-  const Word FinalX = Dev.read(X);
-  const Word FinalY = Dev.read(Y);
-  switch (T.Kind) {
-  case LitmusKind::MP:
-    return R0 == 1 && R1 == 0;
-  case LitmusKind::LB:
-    return R0 == 1 && R1 == 1;
-  case LitmusKind::SB:
-    return R0 == 0 && R1 == 0;
-  case LitmusKind::R:
-    return FinalY == 2 && R0 == 0;
-  case LitmusKind::S:
-    return R0 == 1 && FinalX == 2;
-  case LitmusKind::TwoPlusTwoW:
-    return FinalX == 1 && FinalY == 1;
-  }
-  return false;
+  FinalRegs.resize(NumRegs);
+  for (unsigned R = 0; R != NumRegs; ++R)
+    FinalRegs[R] = Dev.read(Results + R);
+  FinalMem.resize(NumLocs);
+  for (unsigned L = 0; L != NumLocs; ++L)
+    FinalMem[L] = Dev.read(LocAddr[L]);
+  return P.evalForbidden(FinalRegs, FinalMem);
 }
 
-unsigned LitmusRunner::countWeak(const LitmusInstance &T,
+unsigned LitmusRunner::countWeak(const Program &P, unsigned Distance,
                                  const MicroStress &S, unsigned C,
                                  const RunOpts &Opts) {
   unsigned Weak = 0;
   for (unsigned I = 0; I != C; ++I)
-    Weak += runOnce(T, S, Opts);
+    Weak += runOnce(P, Distance, S, Opts);
   return Weak;
 }

@@ -6,21 +6,26 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The MP, LB and SB litmus tests of the paper's Fig. 2, parameterised by
-/// the distance between their two communication locations (test instances
-/// T_d, Sec. 3.1), and a runner that executes them on the simulated GPU
-/// under configurable memory stress — the micro-benchmark machinery behind
-/// the paper's entire Sec. 3 tuning pipeline.
+/// The litmus runner: executes litmus::Program tests on the simulated GPU,
+/// parameterised by the distance between their communication locations
+/// (test instances T_d, Sec. 3.1), under configurable memory stress — the
+/// micro-benchmark machinery behind the paper's entire Sec. 3 tuning
+/// pipeline.
 ///
-/// Communication locations x and y are placed in global memory with the
-/// communicating threads in distinct blocks, matching the paper's focus on
-/// inter-block idioms.
+/// Tests are data (litmus/Program.h): the runner interprets any program —
+/// a built-in catalog entry, a parsed `.litmus` file, or an exported fuzz
+/// case. The historical LitmusKind enum API remains as a thin catalog
+/// lookup and executes bit-identically to the original hand-written
+/// kernels. Communication locations are placed in global memory with the
+/// communicating threads in distinct blocks by default, matching the
+/// paper's focus on inter-block idioms.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef GPUWMM_LITMUS_LITMUS_H
 #define GPUWMM_LITMUS_LITMUS_H
 
+#include "litmus/Program.h"
 #include "sim/ChipProfile.h"
 #include "sim/ExecutionContext.h"
 #include "stress/AccessSequence.h"
@@ -52,6 +57,10 @@ inline constexpr std::array<LitmusKind, 6> AllLitmusKindsExtended = {
     LitmusKind::R,  LitmusKind::S,           LitmusKind::TwoPlusTwoW};
 
 const char *litmusName(LitmusKind K);
+
+/// The catalog program a LitmusKind names (the enum API is a thin lookup
+/// into the data-driven catalog; see litmus/Program.h).
+const Program &catalogProgram(LitmusKind K);
 
 /// A test instance T_d: test T with communication locations d words apart.
 struct LitmusInstance {
@@ -117,23 +126,63 @@ public:
   LitmusRunner(const sim::ChipProfile &Chip, uint64_t Seed)
       : Chip(Chip), Master(Seed) {}
 
-  /// Executes the instance once; returns true iff the weak behaviour of
-  /// Fig. 2 was observed.
-  bool runOnce(const LitmusInstance &T, const MicroStress &S,
+  /// Executes \p P once with its communication locations \p Distance
+  /// words apart; returns true iff the program's forbidden outcome was
+  /// observed. \p P must satisfy Program::validate() and must not be
+  /// mutated between executions on one runner (the runner caches a
+  /// per-(program, distance) execution plan keyed by identity, so
+  /// sweeps allocate nothing per run in steady state).
+  bool runOnce(const Program &P, unsigned Distance, const MicroStress &S,
                const RunOpts &Opts = RunOpts());
+
+  /// Executes \p P \p C times; returns the number of weak behaviours.
+  unsigned countWeak(const Program &P, unsigned Distance,
+                     const MicroStress &S, unsigned C,
+                     const RunOpts &Opts = RunOpts());
+
+  /// Executes the catalog program of \p T.Kind once (bit-identical to the
+  /// original hand-written kernels); true iff the weak behaviour was
+  /// observed.
+  bool runOnce(const LitmusInstance &T, const MicroStress &S,
+               const RunOpts &Opts = RunOpts()) {
+    return runOnce(catalogProgram(T.Kind), T.Distance, S, Opts);
+  }
 
   /// Executes \p C times; returns the number of weak behaviours.
   unsigned countWeak(const LitmusInstance &T, const MicroStress &S,
-                     unsigned C, const RunOpts &Opts = RunOpts());
+                     unsigned C, const RunOpts &Opts = RunOpts()) {
+    return countWeak(catalogProgram(T.Kind), T.Distance, S, C, Opts);
+  }
 
   /// Total executions performed by this runner (tuning-cost reporting).
   uint64_t executions() const { return Execs; }
 
 private:
+  /// The (program, distance)-invariant part of an execution: register
+  /// writeback lists, the (block, lane) -> thread dispatch table and the
+  /// launch geometry. Rebuilt only when the instance changes, so the
+  /// million-run tuning sweeps reuse one plan (PR 3's zero-allocation
+  /// steady state).
+  struct Plan {
+    const Program *P = nullptr;
+    unsigned Distance = 0;
+    unsigned Delta = 1;
+    unsigned GridDim = 0;
+    unsigned BlockDim = 0;
+    std::vector<std::vector<unsigned>> Writeback; ///< Per thread.
+    std::vector<int> ThreadAt; ///< block * BlockDim + lane -> thread.
+  };
+
+  void rebuildPlan(const Program &P, unsigned Distance);
+
   const sim::ChipProfile &Chip;
   Rng Master;
   sim::ContextLease Ctx; ///< Recycled engine state, reused every run.
   uint64_t Execs = 0;
+  Plan Cached;
+  // Per-run scratch, recycled across runs.
+  std::vector<sim::Addr> LocAddr;
+  std::vector<sim::Word> Regs, FinalRegs, FinalMem;
 };
 
 } // namespace litmus

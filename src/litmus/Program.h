@@ -1,0 +1,176 @@
+//===- litmus/Program.h - Litmus test intermediate representation -*- C++ -*-===//
+//
+// Part of the gpuwmm project, a reproduction of "Exposing Errors Related to
+// Weak Memory in GPU Applications" (Sorensen & Donaldson, PLDI 2016).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A data representation of litmus tests: an N-thread, N-location program
+/// of loads, stores, atomics and fences, with block placement, an initial
+/// memory state, and a forbidden-outcome predicate over final register and
+/// memory values. The paper's Sec. 3.1 anticipates re-tuning the stress
+/// machinery against new buggy idioms as they emerge; expressing tests as
+/// data (rather than hand-written simulator kernels) makes a new idiom a
+/// new Program — or a new `.litmus` file (see litmus/Format.h) — instead
+/// of a C++ change.
+///
+/// The built-in catalog (see \ref catalog) re-expresses the paper's Fig. 2
+/// tests and the classic two-location shapes through this IR, and adds the
+/// classic three- and four-thread idioms IRIW, WRC, ISA2, RWC and W+RWC.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUWMM_LITMUS_PROGRAM_H
+#define GPUWMM_LITMUS_PROGRAM_H
+
+#include "sim/Types.h"
+
+#include <array>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gpuwmm {
+namespace litmus {
+
+/// One instruction of a litmus program thread.
+///
+/// AsyncLoad/AwaitLoad form the split-phase load pair the simulator uses
+/// to model load buffering: AsyncLoad issues the load into \ref Reg (as a
+/// ticket), AwaitLoad on the same register completes it. OptFence is a
+/// fence that exists only when the run is fenced (LitmusRunOpts::WithFences)
+/// — it marks where the fences of a test's "+fences" variant go.
+struct ProgOp {
+  enum class Kind { Store, Load, AsyncLoad, AwaitLoad, AtomicAdd, Fence,
+                    OptFence };
+  Kind K = Kind::Fence;
+  unsigned Loc = 0;    ///< Location index (Store/Load/AsyncLoad/AtomicAdd).
+  unsigned Reg = 0;    ///< Register index (Load/AsyncLoad/AwaitLoad).
+  sim::Word Value = 0; ///< Immediate (Store/AtomicAdd).
+
+  static ProgOp store(unsigned Loc, sim::Word V) {
+    return {Kind::Store, Loc, 0, V};
+  }
+  static ProgOp load(unsigned Reg, unsigned Loc) {
+    return {Kind::Load, Loc, Reg, 0};
+  }
+  static ProgOp asyncLoad(unsigned Reg, unsigned Loc) {
+    return {Kind::AsyncLoad, Loc, Reg, 0};
+  }
+  static ProgOp awaitLoad(unsigned Reg) {
+    return {Kind::AwaitLoad, 0, Reg, 0};
+  }
+  static ProgOp atomicAdd(unsigned Loc, sim::Word V) {
+    return {Kind::AtomicAdd, Loc, 0, V};
+  }
+  static ProgOp fence() { return {Kind::Fence, 0, 0, 0}; }
+  static ProgOp optFence() { return {Kind::OptFence, 0, 0, 0}; }
+
+  friend bool operator==(const ProgOp &A, const ProgOp &B) {
+    return A.K == B.K && A.Loc == B.Loc && A.Reg == B.Reg &&
+           A.Value == B.Value;
+  }
+};
+
+/// One thread of a litmus program and its block placement. Threads in
+/// distinct blocks communicate through the inter-block memory system (the
+/// paper's focus); threads sharing a block occupy lanes of that block.
+struct ProgThread {
+  unsigned Block = 0;
+  std::vector<ProgOp> Ops;
+
+  friend bool operator==(const ProgThread &A, const ProgThread &B) {
+    return A.Block == B.Block && A.Ops == B.Ops;
+  }
+};
+
+/// One conjunct of the forbidden-outcome predicate: a register's final
+/// value or a location's final memory value compared against an immediate.
+struct CondAtom {
+  bool IsReg = true;    ///< Register (true) or memory location (false).
+  unsigned Index = 0;   ///< Register or location index.
+  bool Negated = false; ///< True for "!=", false for "=".
+  sim::Word Value = 0;
+
+  friend bool operator==(const CondAtom &A, const CondAtom &B) {
+    return A.IsReg == B.IsReg && A.Index == B.Index &&
+           A.Negated == B.Negated && A.Value == B.Value;
+  }
+};
+
+/// A litmus test as data: threads over named locations and registers, an
+/// initial state, and the forbidden (weak) outcome.
+///
+/// Execution layout (LitmusRunner): location i lives at word offset
+/// i * delta of one allocation, where delta is the instance distance (so
+/// the location list's *order* is the memory layout); registers write back
+/// to a second allocation at their index. Every thread starts with a
+/// random phase jitter in [1, PhaseJitter], then issues its ops in order,
+/// and finally stores each register it loaded into, in first-load order —
+/// exactly the shape of the paper's hand-written Fig. 2 kernels.
+struct Program {
+  std::string Name;
+  /// One-line description for catalog listings. Not part of the test's
+  /// identity: printed as a comment, ignored by equality.
+  std::string Doc;
+  std::vector<std::string> Locations; ///< Names, in memory-layout order.
+  std::vector<std::string> Registers; ///< Names, in writeback-slot order.
+  std::vector<sim::Word> Init;        ///< Per-location initial values.
+  std::vector<ProgThread> Threads;
+  std::vector<CondAtom> Forbidden;    ///< Conjunction; empty = never weak.
+  unsigned PhaseJitter = 24;          ///< Start-phase jitter bound.
+
+  /// Number of blocks the program spans (max placement + 1).
+  unsigned numBlocks() const;
+  /// Largest number of threads placed in any one block.
+  unsigned maxBlockThreads() const;
+
+  /// Index of a named location/register, or -1.
+  int findLocation(std::string_view Name) const;
+  int findRegister(std::string_view Name) const;
+
+  /// Evaluates the forbidden predicate over final register and memory
+  /// values (indexed by register/location index). Empty predicate: false.
+  bool evalForbidden(const std::vector<sim::Word> &Regs,
+                     const std::vector<sim::Word> &Mem) const;
+
+  /// Structural well-formedness: non-empty threads over declared
+  /// locations; unique, disjoint names; every register loaded exactly
+  /// once; async loads awaited exactly once, later in the same thread;
+  /// condition indices in range. Returns an empty string when valid, else
+  /// a description of the first problem.
+  std::string validate() const;
+
+  /// Semantic equality (everything except \ref Doc).
+  friend bool operator==(const Program &A, const Program &B) {
+    return A.Name == B.Name && A.Locations == B.Locations &&
+           A.Registers == B.Registers && A.Init == B.Init &&
+           A.Threads == B.Threads && A.Forbidden == B.Forbidden &&
+           A.PhaseJitter == B.PhaseJitter;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Built-in catalog
+//===----------------------------------------------------------------------===//
+
+/// Every built-in litmus test, in canonical order: the paper's Fig. 2
+/// tuning set (MP, LB, SB), the further two-location shapes (R, S, 2+2W),
+/// and the classic multi-thread idioms (IRIW, WRC, ISA2, RWC, W+RWC).
+const std::vector<Program> &catalog();
+
+/// Looks a catalog test up by its exact name; null when unknown.
+const Program *findCatalogProgram(std::string_view Name);
+
+/// The catalog names, in canonical order (for listings and suggestions).
+std::vector<std::string> catalogNames();
+
+/// The paper's Fig. 2 tuning trio (MP, LB, SB) as catalog programs — the
+/// default test set of the Sec. 3 tuning pipeline.
+std::array<const Program *, 3> tuningPrograms();
+
+} // namespace litmus
+} // namespace gpuwmm
+
+#endif // GPUWMM_LITMUS_PROGRAM_H

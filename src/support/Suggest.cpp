@@ -1,0 +1,72 @@
+//===- support/Suggest.cpp - "did you mean" suggestions ----------------------===//
+
+#include "support/Suggest.h"
+
+#include <algorithm>
+#include <cctype>
+
+using namespace gpuwmm;
+
+namespace {
+
+std::string lowered(const std::string &S) {
+  std::string L = S;
+  std::transform(L.begin(), L.end(), L.begin(), [](unsigned char C) {
+    return static_cast<char>(std::tolower(C));
+  });
+  return L;
+}
+
+} // namespace
+
+unsigned gpuwmm::editDistance(const std::string &RawA,
+                              const std::string &RawB) {
+  const std::string A = lowered(RawA), B = lowered(RawB);
+  std::vector<unsigned> Row(B.size() + 1);
+  for (size_t J = 0; J <= B.size(); ++J)
+    Row[J] = static_cast<unsigned>(J);
+  for (size_t I = 1; I <= A.size(); ++I) {
+    unsigned Diag = Row[0];
+    Row[0] = static_cast<unsigned>(I);
+    for (size_t J = 1; J <= B.size(); ++J) {
+      const unsigned Sub = Diag + (A[I - 1] != B[J - 1]);
+      Diag = Row[J];
+      Row[J] = std::min({Row[J] + 1, Row[J - 1] + 1, Sub});
+    }
+  }
+  return Row[B.size()];
+}
+
+std::vector<std::string>
+gpuwmm::closeMatches(const std::string &Given,
+                     const std::vector<std::string> &Candidates) {
+  constexpr unsigned MaxDistance = 2;
+  unsigned Best = MaxDistance + 1;
+  std::vector<std::string> Matches;
+  for (const std::string &C : Candidates) {
+    const unsigned D = editDistance(Given, C);
+    if (D > MaxDistance || D > Best)
+      continue;
+    if (D < Best) {
+      Best = D;
+      Matches.clear();
+    }
+    Matches.push_back(C);
+  }
+  return Matches;
+}
+
+std::string gpuwmm::suggestClause(const std::string &Given,
+                                  const std::vector<std::string> &Candidates) {
+  const std::vector<std::string> Matches = closeMatches(Given, Candidates);
+  if (Matches.empty())
+    return "";
+  std::string Clause = " (did you mean ";
+  for (size_t I = 0; I != Matches.size(); ++I) {
+    if (I)
+      Clause += I + 1 == Matches.size() ? " or " : ", ";
+    Clause += "'" + Matches[I] + "'";
+  }
+  Clause += "?)";
+  return Clause;
+}

@@ -1,0 +1,39 @@
+//===- support/Suggest.h - "did you mean" suggestions -----------*- C++ -*-===//
+//
+// Part of the gpuwmm project, a reproduction of "Exposing Errors Related to
+// Weak Memory in GPU Applications" (Sorensen & Donaldson, PLDI 2016).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Close-match suggestions for mistyped command-line names (litmus tests,
+/// chips, ...): case-insensitive edit distance with a small threshold.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUWMM_SUPPORT_SUGGEST_H
+#define GPUWMM_SUPPORT_SUGGEST_H
+
+#include <string>
+#include <vector>
+
+namespace gpuwmm {
+
+/// Levenshtein distance between \p A and \p B, case-insensitive.
+unsigned editDistance(const std::string &A, const std::string &B);
+
+/// The candidates closest to \p Given within a case-insensitive edit
+/// distance of 2 (ties included, candidate order preserved). Empty when
+/// nothing is close.
+std::vector<std::string>
+closeMatches(const std::string &Given,
+             const std::vector<std::string> &Candidates);
+
+/// Formats \p closeMatches as " (did you mean 'A' or 'B'?)", or "" when
+/// nothing is close — ready to append to an unknown-name error.
+std::string suggestClause(const std::string &Given,
+                          const std::vector<std::string> &Candidates);
+
+} // namespace gpuwmm
+
+#endif // GPUWMM_SUPPORT_SUGGEST_H

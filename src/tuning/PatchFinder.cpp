@@ -7,8 +7,6 @@
 
 using namespace gpuwmm;
 using namespace gpuwmm::tuning;
-using litmus::AllLitmusKinds;
-using litmus::LitmusInstance;
 using litmus::LitmusRunner;
 
 std::vector<unsigned> PatchFinder::defaultDistances() {
@@ -23,8 +21,8 @@ PatchScan PatchFinder::scan(const Config &Cfg, ThreadPool *Pool) {
       Cfg.Distances.empty() ? defaultDistances() : Cfg.Distances;
   Scan.NumLocations = Cfg.NumLocations;
   Scan.Executions = Cfg.Executions;
-  Scan.Hist.resize(AllLitmusKinds.size());
-  for (size_t K = 0; K != AllLitmusKinds.size(); ++K) {
+  Scan.Hist.resize(Cfg.Tests.size());
+  for (size_t K = 0; K != Cfg.Tests.size(); ++K) {
     Scan.Hist[K].resize(Scan.Distances.size());
     for (auto &Row : Scan.Hist[K])
       Row.resize(Cfg.NumLocations);
@@ -34,14 +32,14 @@ PatchScan PatchFinder::scan(const Config &Cfg, ThreadPool *Pool) {
   // litmus runner whose seed is derived from the cell's flat index, and
   // writes only its own histogram slot.
   const size_t NumCells =
-      AllLitmusKinds.size() * Scan.Distances.size() * Cfg.NumLocations;
+      Cfg.Tests.size() * Scan.Distances.size() * Cfg.NumLocations;
   gpuwmm::parallelFor(Pool, NumCells, [&](size_t I) {
     const size_t K = I / (Scan.Distances.size() * Cfg.NumLocations);
     const size_t D = I / Cfg.NumLocations % Scan.Distances.size();
     const unsigned L = static_cast<unsigned>(I % Cfg.NumLocations);
     LitmusRunner Cell(Chip, Rng::deriveStream(Seed, I));
     Scan.Hist[K][D][L] =
-        Cell.countWeak({AllLitmusKinds[K], Scan.Distances[D]},
+        Cell.countWeak(*Cfg.Tests[K], Scan.Distances[D],
                        LitmusRunner::MicroStress::at(Cfg.Seq, L),
                        Cfg.Executions);
   });
@@ -79,7 +77,7 @@ PatchFinder::patchSizeCounts(const PatchScan &Scan, unsigned KindIdx,
 
 PatchDecision PatchFinder::decide(const PatchScan &Scan, unsigned Eps) {
   PatchDecision Decision;
-  for (size_t K = 0; K != AllLitmusKinds.size(); ++K) {
+  for (size_t K = 0; K != Scan.Hist.size(); ++K) {
     const auto Counts = patchSizeCounts(Scan, K, Eps);
     unsigned Mode = 0;
     unsigned Best = 0;

@@ -66,6 +66,9 @@ public:
     /// The stressing loop body during patch finding: the paper's stressing
     /// thread stores to and then loads from its location.
     stress::AccessSequence Seq = stress::AccessSequence::parse("st ld");
+    /// The three tuning idioms (Fig. 2 by default; any catalog trio via
+    /// `gpuwmm tune --tests=a,b,c`).
+    std::array<const litmus::Program *, 3> Tests = litmus::tuningPrograms();
   };
 
   /// Default distance subsampling for a chip: a spread of d values around

@@ -7,8 +7,6 @@
 
 using namespace gpuwmm;
 using namespace gpuwmm::tuning;
-using litmus::AllLitmusKinds;
-using litmus::LitmusInstance;
 using litmus::LitmusRunner;
 
 std::vector<SequenceScore> SequenceTuner::rankAll(unsigned PatchSize,
@@ -35,19 +33,18 @@ std::vector<SequenceScore> SequenceTuner::rankAll(unsigned PatchSize,
     SequenceScore &Score = Ranked[I];
     Score.Seq = All[I];
     LitmusRunner Runner(Chip, Rng::deriveStream(Seed, I));
-    for (size_t K = 0; K != AllLitmusKinds.size(); ++K) {
+    for (size_t K = 0; K != Cfg.Tests.size(); ++K) {
       uint64_t Total = 0;
       for (unsigned D : Distances) {
-        LitmusInstance T{AllLitmusKinds[K], D};
         for (unsigned Loc : Locations) {
           const auto S = LitmusRunner::MicroStress::at(All[I], Loc);
-          Total += Runner.countWeak(T, S, Cfg.Executions);
+          Total += Runner.countWeak(*Cfg.Tests[K], D, S, Cfg.Executions);
         }
       }
       Score.Scores[K] = Total;
     }
   });
-  Execs += static_cast<uint64_t>(All.size()) * AllLitmusKinds.size() *
+  Execs += static_cast<uint64_t>(All.size()) * Cfg.Tests.size() *
            Distances.size() * Locations.size() * Cfg.Executions;
   return Ranked;
 }

@@ -9,8 +9,8 @@
 /// Implements the paper's Sec. 3.3: rank all 63 access sequences
 /// σ ∈ (ld|st)^{0..5} by the number of weak behaviours they provoke in
 /// ⟨T_d, σ@l⟩ instances, summed over distances and patch-aligned stress
-/// locations; then pick the Pareto-optimal sequence over MP/LB/SB with the
-/// paper's two-of-three tie-break.
+/// locations; then pick the Pareto-optimal sequence over the three tuning
+/// idioms (MP/LB/SB by default) with the paper's two-of-three tie-break.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -45,6 +45,8 @@ public:
     /// Distances to sum over; when empty, multiples of the patch size
     /// {P, 2P, 3P, 7P/2} are used.
     std::vector<unsigned> Distances;
+    /// The three tuning idioms (Fig. 2 by default; any catalog trio).
+    std::array<const litmus::Program *, 3> Tests = litmus::tuningPrograms();
   };
 
   SequenceTuner(const sim::ChipProfile &Chip, uint64_t Seed)

@@ -6,8 +6,6 @@
 
 using namespace gpuwmm;
 using namespace gpuwmm::tuning;
-using litmus::AllLitmusKinds;
-using litmus::LitmusInstance;
 using litmus::LitmusRunner;
 
 std::vector<SpreadScore> SpreadTuner::rankAll(unsigned PatchSize,
@@ -30,10 +28,9 @@ std::vector<SpreadScore> SpreadTuner::rankAll(unsigned PatchSize,
     const uint64_t SpreadSeed = Rng::deriveStream(Seed, I);
     LitmusRunner Runner(Chip, Rng::deriveStream(SpreadSeed, 0));
     Rng SubsetRng(Rng::deriveStream(SpreadSeed, 1));
-    for (size_t K = 0; K != AllLitmusKinds.size(); ++K) {
+    for (size_t K = 0; K != Cfg.Tests.size(); ++K) {
       uint64_t Total = 0;
       for (unsigned D : Distances) {
-        LitmusInstance T{AllLitmusKinds[K], D};
         for (unsigned C = 0; C != Cfg.Executions; ++C) {
           // A fresh random m-subset of regions per execution, as in the
           // paper's ⟨T_d, σ@Lm⟩ tests.
@@ -42,13 +39,13 @@ std::vector<SpreadScore> SpreadTuner::rankAll(unsigned PatchSize,
             Offsets.push_back(Region * PatchSize);
           const auto S =
               LitmusRunner::MicroStress::atAll(Seq, std::move(Offsets));
-          Total += Runner.countWeak(T, S, 1);
+          Total += Runner.countWeak(*Cfg.Tests[K], D, S, 1);
         }
       }
       Score.Scores[K] = Total;
     }
   });
-  Execs += static_cast<uint64_t>(Cfg.MaxSpread) * AllLitmusKinds.size() *
+  Execs += static_cast<uint64_t>(Cfg.MaxSpread) * Cfg.Tests.size() *
            Distances.size() * Cfg.Executions;
   return Ranked;
 }

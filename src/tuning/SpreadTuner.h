@@ -9,7 +9,8 @@
 /// Implements the paper's Sec. 3.4: determine how many critical-patch-sized
 /// regions to stress simultaneously. For each spread m, run litmus
 /// instances with stress applied at a random m-subset of the scratchpad's
-/// regions; pick the Pareto-optimal spread over MP/LB/SB. The paper found
+/// regions; pick the Pareto-optimal spread over the three tuning idioms
+/// (MP/LB/SB by default). The paper found
 /// m = 2 on every chip (Tab. 2, Fig. 4).
 ///
 //===----------------------------------------------------------------------===//
@@ -41,6 +42,8 @@ public:
     unsigned Executions = 50; ///< C per (test, d, spread).
     /// Distances to sum over; defaults to multiples of the patch size.
     std::vector<unsigned> Distances;
+    /// The three tuning idioms (Fig. 2 by default; any catalog trio).
+    std::array<const litmus::Program *, 3> Tests = litmus::tuningPrograms();
   };
 
   SpreadTuner(const sim::ChipProfile &Chip, uint64_t Seed)

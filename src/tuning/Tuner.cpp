@@ -21,6 +21,7 @@ TuningResult Tuner::tune(double Scale, ThreadPool *Pool) {
   PatchFinder::Config PFCfg;
   PFCfg.NumLocations = 256;
   PFCfg.Executions = Scaled(50);
+  PFCfg.Tests = Tests;
   Result.Patch = PatchFinder::decide(PF.scan(PFCfg, Pool), PFCfg.Eps);
   unsigned P = 0;
   if (Result.Patch.CriticalPatchSize)
@@ -36,6 +37,7 @@ TuningResult Tuner::tune(double Scale, ThreadPool *Pool) {
   SequenceTuner::Config STCfg;
   STCfg.NumLocations = 256;
   STCfg.Executions = Scaled(30);
+  STCfg.Tests = Tests;
   Result.SequenceRanking = ST.rankAll(P, STCfg, Pool);
   Result.Params.Seq = SequenceTuner::selectBest(Result.SequenceRanking);
 
@@ -44,6 +46,7 @@ TuningResult Tuner::tune(double Scale, ThreadPool *Pool) {
   SpreadTuner::Config SpCfg;
   SpCfg.MaxSpread = 16;
   SpCfg.Executions = Scaled(500);
+  SpCfg.Tests = Tests;
   Result.SpreadRanking = SpT.rankAll(P, Result.Params.Seq, SpCfg, Pool);
   Result.Params.Spread = SpreadTuner::selectBest(Result.SpreadRanking);
   Result.Params.ScratchRegions = 64;

@@ -38,8 +38,13 @@ struct TuningResult {
 /// chip; GPUWMM_SCALE approaches that on capable machines).
 class Tuner {
 public:
-  Tuner(const sim::ChipProfile &Chip, uint64_t Seed)
-      : Chip(Chip), Seed(Seed) {}
+  /// \p Tests is the idiom trio every stage scores against: the paper's
+  /// Fig. 2 set by default, or any catalog trio (Sec. 3.1 anticipates
+  /// re-tuning against new buggy idioms; `gpuwmm tune --tests=a,b,c`).
+  Tuner(const sim::ChipProfile &Chip, uint64_t Seed,
+        std::array<const litmus::Program *, 3> Tests =
+            litmus::tuningPrograms())
+      : Chip(Chip), Seed(Seed), Tests(Tests) {}
 
   /// Each stage draws from a stream derived from (seed, stage) and sweeps
   /// in parallel over \p Pool; results are identical for any job count.
@@ -48,6 +53,7 @@ public:
 private:
   const sim::ChipProfile &Chip;
   uint64_t Seed;
+  std::array<const litmus::Program *, 3> Tests;
 };
 
 } // namespace tuning

@@ -13,13 +13,16 @@ endif()
 set(CHIPS titan k20)
 set(ENVS no-str- sys-str+)
 set(APPS cbe-dot cbe-ht)
+set(LITMUS MP IRIW)
 list(JOIN CHIPS "," CHIPS_CSV)
 list(JOIN ENVS "," ENVS_CSV)
 list(JOIN APPS "," APPS_CSV)
+list(JOIN LITMUS "," LITMUS_CSV)
 
 execute_process(
   COMMAND "${GPUWMM_BIN}" campaign "--chips=${CHIPS_CSV}"
-          "--envs=${ENVS_CSV}" "--apps=${APPS_CSV}" --runs=10 --seed=3
+          "--envs=${ENVS_CSV}" "--apps=${APPS_CSV}"
+          "--litmus=${LITMUS_CSV}" --runs=10 --seed=3
           --jobs=2 "--out=${OUT}"
   RESULT_VARIABLE RV)
 if(NOT RV EQUAL 0)
@@ -75,4 +78,23 @@ foreach(CHIP IN LISTS CHIPS)
   endforeach()
 endforeach()
 
-message(STATUS "campaign JSON valid: ${NCELLS} cells, ${NSUMMARIES} summaries")
+# The litmus dimension: one cell per (chip, test), counts well-formed.
+string(JSON NLITMUS LENGTH "${REPORT}" litmus)
+if(NOT NLITMUS EQUAL 4) # 2 chips * 2 tests
+  message(FATAL_ERROR "expected 4 litmus cells, got ${NLITMUS}")
+endif()
+math(EXPR LAST "${NLITMUS} - 1")
+foreach(I RANGE ${LAST})
+  string(JSON LTEST GET "${REPORT}" litmus ${I} test)
+  string(JSON LRUNS GET "${REPORT}" litmus ${I} runs)
+  string(JSON LWEAK GET "${REPORT}" litmus ${I} weak)
+  list(FIND LITMUS "${LTEST}" IDX)
+  if(IDX EQUAL -1)
+    message(FATAL_ERROR "litmus cell ${I}: unexpected test ${LTEST}")
+  endif()
+  if(LWEAK GREATER LRUNS)
+    message(FATAL_ERROR "litmus cell ${I}: weak ${LWEAK} > runs ${LRUNS}")
+  endif()
+endforeach()
+
+message(STATUS "campaign JSON valid: ${NCELLS} cells, ${NSUMMARIES} summaries, ${NLITMUS} litmus cells")

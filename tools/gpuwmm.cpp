@@ -14,11 +14,14 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "fuzz/LitmusBridge.h"
 #include "fuzz/ProgramFuzzer.h"
 #include "harden/FenceInsertion.h"
 #include "harness/Campaign.h"
 #include "harness/EnvironmentRunner.h"
+#include "litmus/Format.h"
 #include "support/Options.h"
+#include "support/Suggest.h"
 #include "support/Table.h"
 #include "support/ThreadPool.h"
 #include "tuning/Tuner.h"
@@ -40,17 +43,27 @@ int usage() {
       "\n"
       "commands:\n"
       "  chips                         list the simulated GPUs\n"
-      "  litmus  --chip --test --distance [--stress] [--fences] [--runs]\n"
-      "                                run a litmus test (MP LB SB R S 2+2W)\n"
-      "  tune    --chip [--scale]      run the Sec. 3 tuning pipeline\n"
+      "  litmus list                   list the built-in litmus catalog\n"
+      "  litmus  --chip [--test=NAME | --file=T.litmus] --distance\n"
+      "          [--stress] [--fences] [--runs] [--print]\n"
+      "                                run a litmus test from the built-in\n"
+      "                                catalog (see: gpuwmm litmus list) or\n"
+      "                                a .litmus file (docs/litmus-format.md);\n"
+      "                                --print shows the .litmus text instead\n"
+      "  tune    --chip [--scale] [--tests=a,b,c]\n"
+      "                                run the Sec. 3 tuning pipeline against\n"
+      "                                a catalog idiom trio (default MP,LB,SB)\n"
       "  test    --chip --app --env [--runs]\n"
       "                                run an application under an environment\n"
       "  harden  --chip --app [--stable-runs]\n"
       "                                empirical fence insertion (Alg. 1)\n"
-      "  fuzz    --chip [--programs] [--runs]\n"
-      "                                random-program differential fuzzing\n"
-      "  campaign [--chips=a,b] [--envs=x,y] [--apps=p,q] [--runs] [--out]\n"
-      "                                the Tab. 5 grid; emits a JSON report\n"
+      "  fuzz    --chip [--programs] [--runs] [--file=T.litmus]\n"
+      "          [--export-weak=DIR]   random-program differential fuzzing;\n"
+      "                                --file re-fuzzes an exported case,\n"
+      "                                --export-weak writes failing programs\n"
+      "                                as replayable .litmus files\n"
+      "  campaign [--chips=a,b] [--envs=x,y] [--apps=p,q] [--litmus=t,u]\n"
+      "          [--runs] [--out]      the Tab. 5 grid; emits a JSON report\n"
       "\n"
       "common options: --seed=N; --jobs=N worker threads (results are\n"
       "identical for every N; default GPUWMM_JOBS or all cores);\n"
@@ -62,11 +75,29 @@ const sim::ChipProfile *chipOrDie(const Options &Opts) {
   const std::string Name = Opts.getString("chip", "titan");
   const sim::ChipProfile *Chip = sim::ChipProfile::lookup(Name);
   if (!Chip) {
-    std::fprintf(stderr, "error: unknown chip '%s' (try: gpuwmm chips)\n",
-                 Name.c_str());
+    size_t Count = 0;
+    const sim::ChipProfile *Chips = sim::ChipProfile::all(Count);
+    std::vector<std::string> Names;
+    for (size_t I = 0; I != Count; ++I)
+      Names.push_back(Chips[I].ShortName);
+    std::fprintf(stderr, "error: unknown chip '%s'%s (try: gpuwmm chips)\n",
+                 Name.c_str(), suggestClause(Name, Names).c_str());
     std::exit(2);
   }
   return Chip;
+}
+
+/// Looks up a litmus catalog test; on failure prints an error with close
+/// catalog matches ("did you mean ...") and returns null.
+const litmus::Program *catalogTestOrNull(const std::string &Name) {
+  if (const litmus::Program *P = litmus::findCatalogProgram(Name))
+    return P;
+  std::fprintf(stderr,
+               "error: unknown litmus test '%s'%s (see: gpuwmm litmus "
+               "list)\n",
+               Name.c_str(),
+               suggestClause(Name, litmus::catalogNames()).c_str());
+  return nullptr;
 }
 
 /// Upper bound on --jobs: far beyond any useful worker count, but small
@@ -105,21 +136,63 @@ int cmdChips() {
   return 0;
 }
 
+/// `gpuwmm litmus list`: the built-in catalog at a glance.
+int cmdLitmusList() {
+  Table T({"name", "threads", "locations", "registers", "description"});
+  for (const litmus::Program &P : litmus::catalog()) {
+    std::string Locs;
+    for (size_t I = 0; I != P.Locations.size(); ++I)
+      Locs += (I ? " " : "") + P.Locations[I];
+    T.addRow({P.Name, std::to_string(P.Threads.size()), Locs,
+              std::to_string(P.Registers.size()), P.Doc});
+  }
+  T.print(std::cout);
+  std::printf("\nrun one with: gpuwmm litmus --test=NAME; export its "
+              ".litmus text with --print\n");
+  return 0;
+}
+
+/// Reads and parses \p Path; on any failure prints a file:line:col error
+/// and returns std::nullopt.
+std::optional<litmus::Program> loadLitmusFile(const std::string &Path) {
+  std::ifstream IS(Path);
+  if (!IS) {
+    std::fprintf(stderr, "error: cannot read '%s'\n", Path.c_str());
+    return std::nullopt;
+  }
+  std::ostringstream Text;
+  Text << IS.rdbuf();
+  litmus::ParseError Err;
+  std::optional<litmus::Program> P = litmus::parseLitmus(Text.str(), Err);
+  if (!P)
+    std::fprintf(stderr, "%s\n", Err.render(Path).c_str());
+  return P;
+}
+
 int cmdLitmus(const Options &Opts) {
   const sim::ChipProfile *Chip = chipOrDie(Opts);
-  const std::string TestName = Opts.getString("test", "MP");
-  litmus::LitmusKind Kind = litmus::LitmusKind::MP;
-  bool Found = false;
-  for (litmus::LitmusKind K : litmus::AllLitmusKindsExtended)
-    if (TestName == litmusName(K)) {
-      Kind = K;
-      Found = true;
-    }
-  if (!Found) {
-    std::fprintf(stderr, "error: unknown litmus test '%s'\n",
-                 TestName.c_str());
-    return 2;
+
+  // The test: a .litmus file, or a catalog entry by name.
+  litmus::Program Parsed;
+  const litmus::Program *P = nullptr;
+  if (Opts.has("file")) {
+    std::optional<litmus::Program> FromFile =
+        loadLitmusFile(Opts.getString("file", ""));
+    if (!FromFile)
+      return 2;
+    Parsed = std::move(*FromFile);
+    P = &Parsed;
+  } else {
+    P = catalogTestOrNull(Opts.getString("test", "MP"));
+    if (!P)
+      return 2;
   }
+
+  if (Opts.has("print")) {
+    std::fputs(litmus::printLitmus(*P).c_str(), stdout);
+    return 0;
+  }
+
   const unsigned Distance = static_cast<unsigned>(
       Opts.getInt("distance", 2 * Chip->PatchSizeWords));
   const unsigned Runs =
@@ -137,17 +210,17 @@ int cmdLitmus(const Options &Opts) {
     // tuning micro-benchmarks do.
     for (unsigned Region = 0; Region != Chip->NumBanks; ++Region)
       Weak = std::max(
-          Weak, Runner.countWeak({Kind, Distance},
+          Weak, Runner.countWeak(*P, Distance,
                                  litmus::LitmusRunner::MicroStress::at(
                                      Tuned.Seq, Region * Tuned.PatchWords),
                                  Runs, RunOpts));
   } else {
-    Weak = Runner.countWeak({Kind, Distance},
+    Weak = Runner.countWeak(*P, Distance,
                             litmus::LitmusRunner::MicroStress::none(), Runs,
                             RunOpts);
   }
   std::printf("%s d=%u on %s%s%s: %u/%u weak (%.2f%%)\n",
-              litmusName(Kind), Distance, Chip->ShortName,
+              P->Name.c_str(), Distance, Chip->ShortName,
               Opts.has("stress") ? " +tuned-stress" : "",
               RunOpts.WithFences ? " +fences" : "", Weak, Runs,
               100.0 * Weak / Runs);
@@ -157,7 +230,27 @@ int cmdLitmus(const Options &Opts) {
 int cmdTune(const Options &Opts) {
   const sim::ChipProfile *Chip = chipOrDie(Opts);
   ThreadPool Pool = makePool(Opts);
-  tuning::Tuner Tuner(*Chip, static_cast<uint64_t>(Opts.getInt("seed", 7)));
+  // The idiom trio the pipeline scores against (Fig. 2 by default). The
+  // Pareto machinery is three-objective, so re-tuning against new idioms
+  // means swapping the trio, not growing it.
+  std::array<const litmus::Program *, 3> Tests = litmus::tuningPrograms();
+  if (Opts.has("tests")) {
+    const auto Names = splitCsv(Opts.getString("tests", ""));
+    if (Names.size() != 3) {
+      std::fprintf(stderr,
+                   "error: --tests needs exactly three catalog names, got "
+                   "%zu\n",
+                   Names.size());
+      return 2;
+    }
+    for (size_t I = 0; I != 3; ++I) {
+      Tests[I] = catalogTestOrNull(Names[I]);
+      if (!Tests[I])
+        return 2;
+    }
+  }
+  tuning::Tuner Tuner(*Chip, static_cast<uint64_t>(Opts.getInt("seed", 7)),
+                      Tests);
   const auto R = Tuner.tune(Opts.getDouble("scale", 1.0) *
                             experimentScale(), &Pool);
   std::printf("%s: critical patch size %u, sequence \"%s\", spread %u "
@@ -230,6 +323,30 @@ int cmdFuzz(const Options &Opts) {
       static_cast<unsigned>(Opts.getInt("programs", scaledCount(20)));
   Cfg.RunsPerProgram =
       static_cast<unsigned>(Opts.getInt("runs", scaledCount(40)));
+
+  // --file: re-fuzz one imported .litmus case (e.g. a prior export)
+  // against its exhaustive SC set instead of generating programs.
+  if (Opts.has("file")) {
+    const std::string Path = Opts.getString("file", "");
+    std::optional<litmus::Program> L = loadLitmusFile(Path);
+    if (!L)
+      return 2;
+    std::string Why;
+    std::optional<fuzz::Program> P = fuzz::fromLitmusProgram(*L, &Why);
+    if (!P) {
+      std::fprintf(stderr, "error: '%s' is not fuzzable: %s\n",
+                   Path.c_str(), Why.c_str());
+      return 2;
+    }
+    const fuzz::FuzzResult R = fuzz::fuzzProgram(
+        *P, *Chip, Cfg.RunsPerProgram,
+        static_cast<uint64_t>(Opts.getInt("seed", 1)), /*Stressed=*/true);
+    std::printf("%s%s: %u/%u non-SC outcomes (%u distinct, SC set %zu)\n",
+                P->str().c_str(), L->Name.c_str(), R.WeakOutcomes, R.Runs,
+                R.DistinctWeak, R.ScSetSize);
+    return 0;
+  }
+
   ThreadPool Pool = makePool(Opts);
   const auto Batch = fuzz::fuzzBatch(
       *Chip, Cfg, static_cast<uint64_t>(Opts.getInt("seed", 1)), &Pool);
@@ -243,6 +360,24 @@ int cmdFuzz(const Options &Opts) {
                 "%zu)\n%s",
                 I, R.WeakOutcomes, R.Runs, R.DistinctWeak, R.ScSetSize,
                 Batch[I].P.str().c_str());
+    // --export-weak: shrink the failing case to a replayable .litmus
+    // artifact whose forbidden clause pins the first observed non-SC
+    // outcome (re-run with `gpuwmm litmus --file` or `gpuwmm fuzz
+    // --file`).
+    if (Opts.has("export-weak")) {
+      const std::string Path = Opts.getString("export-weak", ".") +
+                               "/fuzz-" + std::to_string(I) + ".litmus";
+      std::string Name = "fuzz-";
+      Name += std::to_string(I);
+      std::ofstream OS(Path);
+      if (!OS) {
+        std::fprintf(stderr, "error: cannot write '%s'\n", Path.c_str());
+        return 1;
+      }
+      OS << litmus::printLitmus(
+          fuzz::toLitmusProgram(Batch[I].P, Name, &R.FirstWeak));
+      std::printf("  exported to %s\n", Path.c_str());
+    }
   }
   std::printf("%u/%u programs exhibited weak outcomes under sys-str+\n",
               WeakProgs, Cfg.Programs);
@@ -283,6 +418,14 @@ int cmdCampaign(const Options &Opts) {
         return 2;
       }
       Config.Apps.push_back(*App);
+    }
+  }
+  if (Opts.has("litmus")) {
+    for (const std::string &Name : splitCsv(Opts.getString("litmus", ""))) {
+      const litmus::Program *P = catalogTestOrNull(Name);
+      if (!P)
+        return 2;
+      Config.LitmusTests.push_back(P);
     }
   }
   if (Config.Chips.empty() || Config.Envs.empty() || Config.Apps.empty()) {
@@ -332,8 +475,11 @@ int main(int Argc, char **Argv) {
   (void)Opts.getPositiveInt("jobs", 0, MaxJobs);
   if (!std::strcmp(Cmd, "chips"))
     return cmdChips();
-  if (!std::strcmp(Cmd, "litmus"))
+  if (!std::strcmp(Cmd, "litmus")) {
+    if (Argc >= 3 && !std::strcmp(Argv[2], "list"))
+      return cmdLitmusList();
     return cmdLitmus(Opts);
+  }
   if (!std::strcmp(Cmd, "tune"))
     return cmdTune(Opts);
   if (!std::strcmp(Cmd, "test"))
