@@ -1,0 +1,156 @@
+//===- bench/bench_trace_overhead.cpp - Trace seam overhead A/B --------------===//
+//
+// Part of the gpuwmm project, a reproduction of "Exposing Errors Related to
+// Weak Memory in GPU Applications" (Sorensen & Donaldson, PLDI 2016).
+//
+// A/B-measures the event-trace seam (DESIGN.md Sec. 14) on the litmus hot
+// path (the workload of bench_litmus_micro: stressed MP executions, the
+// unit the Sec. 3 tuning pipeline performs millions of times):
+//
+//  * off: tracing disabled — the production path, which must pay only one
+//    null-pointer test per notification site.
+//  * on:  tracing enabled — every run records its full event stream into
+//    the context's recycled EventTrace.
+//
+// Hard failure conditions:
+//  * the two arms' weak-outcome sequences differ (tracing perturbed the
+//    simulation — a determinism-contract violation), or
+//  * a baseline JSON is supplied (--baseline=FILE or GPUWMM_BENCH_BASELINE)
+//    and the off-arm throughput regressed more than 2% against its
+//    committed off_runs_per_sec — the guard that keeps the seam
+//    zero-overhead-when-off. The committed reference lives in
+//    bench/baselines/ (same-machine comparisons only; see its README).
+//
+//===----------------------------------------------------------------------===//
+
+#include "litmus/Litmus.h"
+#include "stress/Environment.h"
+#include "support/Options.h"
+#include "support/Table.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+using namespace gpuwmm;
+
+namespace {
+
+double now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Extracts "off_runs_per_sec": <number> from a baseline JSON (no JSON
+/// dependency; the bench writes the field itself, so the shape is known).
+double baselineOffRunsPerSec(const std::string &Path) {
+  std::ifstream IS(Path);
+  if (!IS) {
+    std::fprintf(stderr, "error: cannot read baseline '%s'\n", Path.c_str());
+    return -1.0;
+  }
+  std::ostringstream Text;
+  Text << IS.rdbuf();
+  const std::string Key = "\"off_runs_per_sec\": ";
+  const size_t At = Text.str().find(Key);
+  if (At == std::string::npos) {
+    std::fprintf(stderr, "error: no off_runs_per_sec in '%s'\n",
+                 Path.c_str());
+    return -1.0;
+  }
+  return std::strtod(Text.str().c_str() + At + Key.size(), nullptr);
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  Options Opts(Argc, Argv);
+  const auto &Chip = *sim::ChipProfile::lookup("titan");
+  const unsigned Runs = scaledCount(20000);
+  const uint64_t Seed = 42;
+  const litmus::Program &P = litmus::catalogProgram(litmus::LitmusKind::MP);
+  const auto Tuned = stress::TunedStressParams::paperDefaults(Chip);
+  const auto Stress = litmus::LitmusRunner::MicroStress::at(Tuned.Seq, 64);
+  const unsigned Distance = 2 * Chip.PatchSizeWords;
+
+  std::printf("trace overhead: %u stressed MP executions per arm, "
+              "seed %llu\n\n",
+              Runs, static_cast<unsigned long long>(Seed));
+
+  // Warm the thread-local context pool so neither arm pays first-run
+  // allocation.
+  {
+    litmus::LitmusRunner Warm(Chip, Seed);
+    (void)Warm.countWeak(P, Distance, Stress, 200);
+  }
+
+  // --- Arm A: tracing off (the production path) -----------------------------
+  std::vector<uint8_t> OffWeak(Runs), OnWeak(Runs);
+  litmus::LitmusRunner Off(Chip, Seed);
+  const double OffStart = now();
+  for (unsigned I = 0; I != Runs; ++I)
+    OffWeak[I] = Off.runOnce(P, Distance, Stress);
+  const double OffSeconds = now() - OffStart;
+
+  // --- Arm B: tracing on ----------------------------------------------------
+  litmus::LitmusRunner On(Chip, Seed);
+  litmus::LitmusRunner::RunOpts TraceOpts;
+  TraceOpts.Trace = true;
+  const double OnStart = now();
+  for (unsigned I = 0; I != Runs; ++I)
+    OnWeak[I] = On.runOnce(P, Distance, Stress, TraceOpts);
+  const double OnSeconds = now() - OnStart;
+
+  const bool Identical = OffWeak == OnWeak;
+  const double OffRate = Runs / OffSeconds;
+  const double OnRate = Runs / OnSeconds;
+  const double OverheadPct = 100.0 * (OffSeconds > 0.0
+                                          ? OnSeconds / OffSeconds - 1.0
+                                          : 0.0);
+
+  Table T({"arm", "seconds", "runs/s", "identical"});
+  T.addRow({"tracing-off", formatDouble(OffSeconds, 3),
+            formatDouble(OffRate, 0), "-"});
+  T.addRow({"tracing-on", formatDouble(OnSeconds, 3),
+            formatDouble(OnRate, 0), Identical ? "yes" : "NO"});
+  T.print(std::cout);
+  std::printf("\ntracing-on overhead: %+.1f%%\n", OverheadPct);
+
+  // Optional committed-baseline guard for the off path (>2% regression
+  // fails). Same-machine comparisons only — never enabled blindly in CI.
+  bool BaselineOk = true;
+  std::string BaselinePath = Opts.getString("baseline", "");
+  if (BaselinePath.empty())
+    if (const char *Env = std::getenv("GPUWMM_BENCH_BASELINE"))
+      BaselinePath = Env;
+  if (!BaselinePath.empty()) {
+    const double Reference = baselineOffRunsPerSec(BaselinePath);
+    if (Reference <= 0.0) {
+      BaselineOk = false;
+    } else {
+      const double Ratio = OffRate / Reference;
+      BaselineOk = Ratio >= 0.98;
+      std::printf("off-path vs baseline %s: %.0f vs %.0f runs/s "
+                  "(%+.1f%%) -> %s\n",
+                  BaselinePath.c_str(), OffRate, Reference,
+                  100.0 * (Ratio - 1.0),
+                  BaselineOk ? "ok" : "REGRESSION (>2%)");
+    }
+  }
+
+  std::printf("\n{\"bench\": \"trace_overhead\", \"runs\": %u, "
+              "\"off_runs_per_sec\": %.0f, \"on_runs_per_sec\": %.0f, "
+              "\"on_overhead_pct\": %.1f, \"identical\": %s}\n",
+              Runs, OffRate, OnRate, OverheadPct,
+              Identical ? "true" : "false");
+
+  // Identity is the determinism contract; the baseline guard is the
+  // zero-overhead-when-off contract.
+  return Identical && BaselineOk ? 0 : 1;
+}

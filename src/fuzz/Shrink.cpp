@@ -1,0 +1,192 @@
+//===- fuzz/Shrink.cpp - Delta-debugging reduction of weak cases -------------===//
+
+#include "fuzz/Shrink.h"
+
+#include "litmus/Litmus.h"
+#include "model/ConsistencyChecker.h"
+#include "stress/Environment.h"
+#include "support/Rng.h"
+
+#include <algorithm>
+#include <vector>
+
+using namespace gpuwmm;
+using namespace gpuwmm::fuzz;
+using litmus::ProgOp;
+using litmus::Program;
+
+namespace {
+
+unsigned countOps(const Program &P) {
+  unsigned N = 0;
+  for (const litmus::ProgThread &T : P.Threads)
+    N += static_cast<unsigned>(T.Ops.size());
+  return N;
+}
+
+/// One removable unit: op positions (within one thread) that must go
+/// together — a single op, or a split-phase issue plus its await.
+struct Unit {
+  unsigned Thread;
+  std::vector<size_t> Ops; ///< Ascending positions in the thread.
+};
+
+/// Registers pinned by the forbidden clause: their loads define the
+/// outcome being reproduced and must survive.
+std::vector<bool> pinnedRegisters(const Program &P) {
+  std::vector<bool> Pinned(P.Registers.size(), false);
+  for (const litmus::CondAtom &A : P.Forbidden)
+    if (A.IsReg)
+      Pinned[A.Index] = true;
+  return Pinned;
+}
+
+std::vector<Unit> removableUnits(const Program &P) {
+  const std::vector<bool> Pinned = pinnedRegisters(P);
+  std::vector<Unit> Units;
+  for (unsigned TI = 0; TI != P.Threads.size(); ++TI) {
+    const auto &Ops = P.Threads[TI].Ops;
+    for (size_t I = 0; I != Ops.size(); ++I) {
+      const ProgOp &O = Ops[I];
+      switch (O.K) {
+      case ProgOp::Kind::Store:
+      case ProgOp::Kind::AtomicAdd:
+      case ProgOp::Kind::Fence:
+      case ProgOp::Kind::OptFence:
+        Units.push_back({TI, {I}});
+        break;
+      case ProgOp::Kind::Load:
+        if (!Pinned[O.Reg])
+          Units.push_back({TI, {I}});
+        break;
+      case ProgOp::Kind::AsyncLoad: {
+        if (Pinned[O.Reg])
+          break;
+        // The matching await (validate() guarantees exactly one, later).
+        for (size_t J = I + 1; J != Ops.size(); ++J)
+          if (Ops[J].K == ProgOp::Kind::AwaitLoad && Ops[J].Reg == O.Reg) {
+            Units.push_back({TI, {I, J}});
+            break;
+          }
+        break;
+      }
+      case ProgOp::Kind::AwaitLoad:
+        break; // Removed with its issue.
+      }
+    }
+  }
+  return Units;
+}
+
+/// \p P minus \p U, with the register of a removed load deleted and every
+/// higher register index (ops and forbidden atoms) shifted down.
+Program removeUnit(const Program &P, const Unit &U) {
+  Program Q = P;
+  int RemovedReg = -1;
+  for (auto It = U.Ops.rbegin(); It != U.Ops.rend(); ++It) {
+    const ProgOp &O = Q.Threads[U.Thread].Ops[*It];
+    if (O.K == ProgOp::Kind::Load || O.K == ProgOp::Kind::AsyncLoad)
+      RemovedReg = static_cast<int>(O.Reg);
+    Q.Threads[U.Thread].Ops.erase(Q.Threads[U.Thread].Ops.begin() +
+                                  static_cast<ptrdiff_t>(*It));
+  }
+  if (RemovedReg >= 0) {
+    Q.Registers.erase(Q.Registers.begin() + RemovedReg);
+    const unsigned R = static_cast<unsigned>(RemovedReg);
+    for (litmus::ProgThread &T : Q.Threads)
+      for (ProgOp &O : T.Ops) {
+        const bool HasReg = O.K == ProgOp::Kind::Load ||
+                            O.K == ProgOp::Kind::AsyncLoad ||
+                            O.K == ProgOp::Kind::AwaitLoad;
+        if (HasReg && O.Reg > R)
+          --O.Reg;
+      }
+    for (litmus::CondAtom &A : Q.Forbidden)
+      if (A.IsReg && A.Index > R)
+        --A.Index;
+  }
+  return Q;
+}
+
+/// Whether \p P provokes its forbidden outcome as a checker-confirmed weak
+/// behaviour within the attempt budget. \p AttemptIdx seeds the attempt
+/// (one stream per candidate, so the search is deterministic);
+/// \p PreferRegion is tried first (the stress location that last worked).
+bool reproducesWeak(const Program &P, const sim::ChipProfile &Chip,
+                    const ShrinkOptions &Opts, uint64_t AttemptIdx,
+                    unsigned &PreferRegion,
+                    model::ConsistencyChecker &Checker) {
+  litmus::LitmusRunner Runner(Chip, Rng::deriveStream(Opts.Seed, AttemptIdx));
+  litmus::LitmusRunner::RunOpts RunOpts;
+  RunOpts.Trace = true;
+
+  // Stress locations to try, most-recently-successful region first (the
+  // effective region rarely changes between close candidates).
+  const auto Tuned = stress::TunedStressParams::paperDefaults(Chip);
+  std::vector<std::pair<unsigned, litmus::LitmusRunner::MicroStress>> Configs;
+  if (Opts.Stressed) {
+    const unsigned First = PreferRegion % Chip.NumBanks;
+    Configs.emplace_back(First, litmus::LitmusRunner::MicroStress::at(
+                                    Tuned.Seq, First * Tuned.PatchWords));
+    for (unsigned Region = 0; Region != Chip.NumBanks; ++Region)
+      if (Region != First)
+        Configs.emplace_back(Region,
+                             litmus::LitmusRunner::MicroStress::at(
+                                 Tuned.Seq, Region * Tuned.PatchWords));
+  } else {
+    Configs.emplace_back(0, litmus::LitmusRunner::MicroStress::none());
+  }
+
+  for (const auto &[Region, Stress] : Configs) {
+    for (unsigned Run = 0; Run != Opts.RunsPerAttempt; ++Run) {
+      if (!Runner.runOnce(P, Opts.Distance, Stress, RunOpts))
+        continue;
+      // The forbidden outcome was observed; only a checker-confirmed
+      // non-SC execution counts (a reduction that makes the outcome
+      // sequentially reachable shrank the weakness away).
+      if (Checker.check(Runner.trace()).weak()) {
+        PreferRegion = Region;
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+} // namespace
+
+ShrinkResult fuzz::shrinkWeakProgram(const Program &P,
+                                     const sim::ChipProfile &Chip,
+                                     const ShrinkOptions &Opts) {
+  ShrinkResult Result;
+  Result.Reduced = P;
+  Result.OriginalOps = countOps(P);
+  Result.ReducedOps = Result.OriginalOps;
+
+  model::ConsistencyChecker Checker;
+  unsigned PreferRegion = 0;
+  uint64_t AttemptIdx = 0;
+  if (!reproducesWeak(P, Chip, Opts, AttemptIdx++, PreferRegion, Checker))
+    return Result; // Nothing to shrink against.
+  Result.Reproduced = true;
+
+  bool Improved = true;
+  while (Improved) {
+    Improved = false;
+    for (const Unit &U : removableUnits(Result.Reduced)) {
+      Program Candidate = removeUnit(Result.Reduced, U);
+      if (!Candidate.validate().empty())
+        continue;
+      ++Result.Candidates;
+      if (reproducesWeak(Candidate, Chip, Opts, AttemptIdx++, PreferRegion,
+                         Checker)) {
+        Result.Reduced = std::move(Candidate);
+        ++Result.Accepted;
+        Improved = true;
+        break; // Unit positions shifted; rebuild the unit list.
+      }
+    }
+  }
+  Result.ReducedOps = countOps(Result.Reduced);
+  return Result;
+}

@@ -1,0 +1,71 @@
+//===- fuzz/Shrink.h - Delta-debugging reduction of weak cases --*- C++ -*-===//
+//
+// Part of the gpuwmm project, a reproduction of "Exposing Errors Related to
+// Weak Memory in GPU Applications" (Sorensen & Donaldson, PLDI 2016).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Delta-debugging shrinker for weak litmus cases (`gpuwmm fuzz --shrink`):
+/// given a program whose forbidden clause pins a weak outcome (typically a
+/// `.litmus` file exported by `fuzz --export-weak`), repeatedly remove
+/// instructions while the reduced program still provokes that same
+/// forbidden outcome *as a genuinely weak behaviour* — every candidate is
+/// re-validated by the axiomatic checker (model/ConsistencyChecker.h), so
+/// a reduction that makes the pinned outcome sequentially reachable is
+/// rejected rather than reported as a smaller "bug".
+///
+/// Instructions whose result register appears in the forbidden clause are
+/// never removed (they define the outcome being pinned); split-phase
+/// issue/await pairs are removed as one unit.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUWMM_FUZZ_SHRINK_H
+#define GPUWMM_FUZZ_SHRINK_H
+
+#include "litmus/Program.h"
+#include "sim/ChipProfile.h"
+
+#include <cstdint>
+
+namespace gpuwmm {
+namespace fuzz {
+
+/// Steers the reduction's reproduction attempts.
+struct ShrinkOptions {
+  /// Instance distance between communication locations (0 = contiguous);
+  /// use the distance the case was provoked at.
+  unsigned Distance = 0;
+  /// Executions per stress location before a candidate counts as "does
+  /// not reproduce". Higher = slower but less over-eager shrinking.
+  unsigned RunsPerAttempt = 200;
+  uint64_t Seed = 1;
+  /// Scan tuned per-bank stress locations (as `litmus --stress` does);
+  /// when false candidates run unstressed.
+  bool Stressed = true;
+};
+
+/// Outcome of a reduction.
+struct ShrinkResult {
+  litmus::Program Reduced; ///< The original when !Reproduced.
+  /// The *original* program provoked its forbidden outcome as a weak
+  /// (checker-confirmed non-SC) behaviour; when false nothing was shrunk.
+  bool Reproduced = false;
+  unsigned OriginalOps = 0; ///< Instructions before reduction.
+  unsigned ReducedOps = 0;  ///< Instructions after reduction.
+  unsigned Candidates = 0;  ///< Candidate programs evaluated.
+  unsigned Accepted = 0;    ///< Reductions that kept the weak outcome.
+};
+
+/// Greedily minimises \p P under "still provokes the forbidden outcome,
+/// and the axiomatic checker classifies that run as weak". Deterministic
+/// for a given (program, chip, options) tuple.
+ShrinkResult shrinkWeakProgram(const litmus::Program &P,
+                               const sim::ChipProfile &Chip,
+                               const ShrinkOptions &Opts);
+
+} // namespace fuzz
+} // namespace gpuwmm
+
+#endif // GPUWMM_FUZZ_SHRINK_H

@@ -2,9 +2,17 @@
 
 #include "harness/Campaign.h"
 
+#include "model/ConsistencyChecker.h"
+
 #include <algorithm>
 #include <cassert>
 #include <ostream>
+
+/// Build version baked into the campaign JSON header (kept in sync with
+/// the CMake project version; the build passes it via compile definition).
+#ifndef GPUWMM_VERSION
+#define GPUWMM_VERSION "unknown"
+#endif
 
 using namespace gpuwmm;
 using namespace gpuwmm::harness;
@@ -127,6 +135,10 @@ CampaignReport harness::runCampaign(const CampaignConfig &Config,
 
   const size_t CellsPerChip = Config.Envs.size() * Config.Apps.size();
   std::vector<apps::AppVerdict> Verdicts(Report.Cells.size() * Config.Runs);
+  // Per-run oracle status (0 = unchecked, 1 = axioms held, 2 = violation),
+  // filled only when the oracle samples runs.
+  std::vector<uint8_t> OracleStatus(
+      Config.OracleEvery ? Verdicts.size() : 0, 0);
   parallelFor(Pool, Verdicts.size(), [&](size_t I) {
     // One recycled execution engine per worker thread: the campaign's
     // millions of runs share a handful of contexts instead of
@@ -135,20 +147,38 @@ CampaignReport harness::runCampaign(const CampaignConfig &Config,
     const size_t CellIdx = I / Config.Runs;
     const unsigned Run = static_cast<unsigned>(I % Config.Runs);
     const CampaignCell &Cell = Report.Cells[CellIdx];
+    // Sampled runs record their memory events and are validated against
+    // the model's axioms. Tracing observes only: verdicts (and thus the
+    // report's counts) are identical with the oracle on or off.
+    const bool Sampled = Config.OracleEvery != 0 &&
+                         Run % Config.OracleEvery == 0;
+    Ctx.get().requestTracing(Sampled);
     Verdicts[I] = apps::runApplicationOnce(
         Ctx.get(), Cell.App, *Cell.Chip, Cell.Env,
         Tuned[CellIdx / CellsPerChip],
         /*Policy=*/nullptr, Rng::deriveStream(CellSeeds[CellIdx], Run));
+    if (Sampled) {
+      model::ConsistencyChecker Checker;
+      OracleStatus[I] =
+          Checker.check(Ctx.get().trace()).AxiomsOk ? 1 : 2;
+      Ctx.get().requestTracing(false);
+    }
   });
 
   for (size_t CellIdx = 0; CellIdx != Report.Cells.size(); ++CellIdx) {
-    CellResult &R = Report.Cells[CellIdx].Result;
+    CampaignCell &Cell = Report.Cells[CellIdx];
+    CellResult &R = Cell.Result;
     for (unsigned Run = 0; Run != Config.Runs; ++Run) {
       const apps::AppVerdict V = Verdicts[CellIdx * Config.Runs + Run];
       if (apps::isErroneous(V))
         ++R.Errors;
       if (V == apps::AppVerdict::Timeout)
         ++R.Timeouts;
+      if (Config.OracleEvery) {
+        const uint8_t S = OracleStatus[CellIdx * Config.Runs + Run];
+        Cell.OracleChecked += S != 0;
+        Cell.OracleViolations += S == 2;
+      }
     }
   }
 
@@ -173,13 +203,31 @@ CampaignReport harness::runCampaign(const CampaignConfig &Config,
       litmus::LitmusRunner Runner(
           Chip, campaignLitmusSeed(Config.Seed, Chip, Test));
       const unsigned Distance = 2 * Chip.PatchSizeWords;
-      for (unsigned Region = 0; Region != Chip.NumBanks; ++Region)
-        Cell.Weak = std::max(
-            Cell.Weak,
-            Runner.countWeak(Test, Distance,
-                             litmus::LitmusRunner::MicroStress::at(
-                                 Tuned.Seq, Region * Tuned.PatchWords),
-                             Config.Runs));
+      model::ConsistencyChecker Checker;
+      for (unsigned Region = 0; Region != Chip.NumBanks; ++Region) {
+        const auto Stress = litmus::LitmusRunner::MicroStress::at(
+            Tuned.Seq, Region * Tuned.PatchWords);
+        unsigned Weak = 0;
+        for (unsigned Run = 0; Run != Config.Runs; ++Run) {
+          // Sampled runs are traced and cross-checked: the axioms must
+          // hold and the checker's SC-vs-weak classification must agree
+          // with the operational outcome. Tracing observes only, so the
+          // weak counts are identical with the oracle on or off.
+          litmus::LitmusRunner::RunOpts Opts;
+          Opts.Trace = Config.OracleEvery != 0 &&
+                       Run % Config.OracleEvery == 0;
+          const bool Forbidden = Runner.runOnce(Test, Distance, Stress,
+                                                Opts);
+          Weak += Forbidden;
+          if (Opts.Trace) {
+            const model::CheckResult R = Checker.check(Runner.trace());
+            ++Cell.OracleChecked;
+            if (!R.AxiomsOk || R.weak() != Forbidden)
+              ++Cell.OracleViolations;
+          }
+        }
+        Cell.Weak = std::max(Cell.Weak, Weak);
+      }
     });
   }
 
@@ -197,10 +245,18 @@ CampaignReport harness::runCampaign(const CampaignConfig &Config,
 void harness::writeCampaignJson(const CampaignReport &Report,
                                 std::ostream &OS) {
   const CampaignConfig &Config = Report.Config;
+  // The header carries only build-stable metadata (schema + tool name and
+  // version) — never wall-clock or host facts, so the report stays
+  // byte-identical across machines and job counts for one seed.
   OS << "{\n"
-     << "  \"schema\": \"gpuwmm-campaign-v1\",\n"
+     << "  \"schema\": \"gpuwmm-campaign-v2\",\n"
+     << "  \"schema_version\": 2,\n"
+     << "  \"tool\": {\"name\": \"gpuwmm\", \"version\": \"" GPUWMM_VERSION
+        "\"},\n"
      << "  \"seed\": " << Config.Seed << ",\n"
      << "  \"runs\": " << Config.Runs << ",\n";
+  if (Config.OracleEvery)
+    OS << "  \"oracle_every\": " << Config.OracleEvery << ",\n";
 
   OS << "  \"chips\": [";
   for (size_t I = 0; I != Config.Chips.size(); ++I)
@@ -221,8 +277,11 @@ void harness::writeCampaignJson(const CampaignReport &Report,
       const LitmusCampaignCell &Cell = Report.LitmusCells[I];
       OS << "    {\"chip\": \"" << Cell.Chip->ShortName
          << "\", \"test\": \"" << Cell.Test->Name
-         << "\", \"runs\": " << Cell.Runs << ", \"weak\": " << Cell.Weak
-         << "}" << (I + 1 == Report.LitmusCells.size() ? "" : ",") << "\n";
+         << "\", \"runs\": " << Cell.Runs << ", \"weak\": " << Cell.Weak;
+      if (Config.OracleEvery)
+        OS << ", \"oracle_checked\": " << Cell.OracleChecked
+           << ", \"oracle_violations\": " << Cell.OracleViolations;
+      OS << "}" << (I + 1 == Report.LitmusCells.size() ? "" : ",") << "\n";
     }
     OS << "  ],\n";
   }
@@ -235,8 +294,11 @@ void harness::writeCampaignJson(const CampaignReport &Report,
        << Cell.Env.name() << "\", \"app\": \"" << apps::appName(Cell.App)
        << "\", \"runs\": " << R.Runs << ", \"errors\": " << R.Errors
        << ", \"timeouts\": " << R.Timeouts << ", \"effective\": "
-       << (R.effective() ? "true" : "false") << "}"
-       << (I + 1 == Report.Cells.size() ? "" : ",") << "\n";
+       << (R.effective() ? "true" : "false");
+    if (Config.OracleEvery)
+      OS << ", \"oracle_checked\": " << Cell.OracleChecked
+         << ", \"oracle_violations\": " << Cell.OracleViolations;
+    OS << "}" << (I + 1 == Report.Cells.size() ? "" : ",") << "\n";
   }
   OS << "  ],\n";
 

@@ -43,6 +43,14 @@ struct CampaignConfig {
   std::vector<const litmus::Program *> LitmusTests;
   unsigned Runs = 100;
   uint64_t Seed = 1;
+  /// Cross-check every Nth run of every cell against the axiomatic
+  /// consistency oracle (gpuwmm campaign --oracle=N): sampled app runs are
+  /// traced and validated against the model's axioms, sampled litmus runs
+  /// additionally compare the checker's SC-vs-weak verdict with the
+  /// operational outcome. 0 (the default) disables the oracle and keeps
+  /// the oracle tally fields out of the JSON report entirely. Tracing is
+  /// pure observation, so counts never depend on this setting.
+  unsigned OracleEvery = 0;
 
   /// The paper's full Tab. 5 grid: 7 chips x 8 environments x 10 apps.
   static CampaignConfig full();
@@ -54,6 +62,8 @@ struct CampaignCell {
   stress::Environment Env;
   apps::AppKind App = apps::AppKind::CbeHt;
   CellResult Result;
+  unsigned OracleChecked = 0;    ///< Runs validated (OracleEvery > 0).
+  unsigned OracleViolations = 0; ///< Axiom violations among them.
 };
 
 /// One (chip, litmus test) cell: the best per-bank stress location's weak
@@ -64,6 +74,9 @@ struct LitmusCampaignCell {
   const litmus::Program *Test = nullptr;
   unsigned Runs = 0;
   unsigned Weak = 0;
+  unsigned OracleChecked = 0;   ///< Runs cross-checked (OracleEvery > 0).
+  /// Axiom violations plus checker-vs-interpreter verdict disagreements.
+  unsigned OracleViolations = 0;
 };
 
 /// A completed campaign: cells in chip-major (chip, env, app) order plus
@@ -96,10 +109,11 @@ uint64_t campaignLitmusSeed(uint64_t Seed, const sim::ChipProfile &Chip,
 CampaignReport runCampaign(const CampaignConfig &Config,
                            ThreadPool *Pool = nullptr);
 
-/// Renders the report as JSON ("gpuwmm-campaign-v1"): the grid, every
-/// cell's counts, and the Tab. 5 summaries. Intentionally contains no
-/// wall-clock or host information so output is byte-stable across
-/// machines and job counts.
+/// Renders the report as JSON ("gpuwmm-campaign-v2"): a schema_version +
+/// tool metadata header (name and build version only — never wall-clock
+/// or host information, so output is byte-stable across machines and job
+/// counts), the grid, every cell's counts, the Tab. 5 summaries, and —
+/// when the oracle ran — per-cell oracle tallies.
 void writeCampaignJson(const CampaignReport &Report, std::ostream &OS);
 
 } // namespace harness

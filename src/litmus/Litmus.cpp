@@ -151,6 +151,9 @@ bool LitmusRunner::runOnce(const Program &P, unsigned Distance,
   Rng RunRng = Master.fork(Execs);
   ++Execs;
 
+  // Arm (or disarm) the context's recycled event recorder before the
+  // Device resets it; tracing observes only, so results stay bit-identical.
+  Ctx.get().requestTracing(Opts.Trace);
   sim::Device Dev(Ctx.get(), Chip, RunRng.next());
   Dev.setSequentialMode(Opts.Sequential);
   Dev.setRandomiseThreads(Opts.Randomise);
@@ -165,6 +168,7 @@ bool LitmusRunner::runOnce(const Program &P, unsigned Distance,
     LocAddr[L] = Base + L * Delta;
   const unsigned NumRegs = static_cast<unsigned>(P.Registers.size());
   const Addr Results = Dev.alloc(std::max(NumRegs, 1u));
+  ResultsBase = Results;
   for (unsigned L = 0; L != NumLocs; ++L)
     if (P.Init[L] != 0)
       Dev.write(LocAddr[L], P.Init[L]);
@@ -220,6 +224,25 @@ bool LitmusRunner::runOnce(const Program &P, unsigned Distance,
   for (unsigned L = 0; L != NumLocs; ++L)
     FinalMem[L] = Dev.read(LocAddr[L]);
   return P.evalForbidden(FinalRegs, FinalMem);
+}
+
+std::string LitmusRunner::addrName(sim::Addr A) const {
+  // Built without operator+ to dodge GCC 12's -Wrestrict false positive.
+  std::string S;
+  if (const Program *P = Cached.P) {
+    for (size_t L = 0; L != LocAddr.size(); ++L)
+      if (LocAddr[L] == A)
+        return P->Locations[L];
+    if (A >= ResultsBase && A < ResultsBase + P->Registers.size()) {
+      S = "wb(";
+      S += P->Registers[A - ResultsBase];
+      S += ")";
+      return S;
+    }
+  }
+  S = "a";
+  S += std::to_string(A);
+  return S;
 }
 
 unsigned LitmusRunner::countWeak(const Program &P, unsigned Distance,

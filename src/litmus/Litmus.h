@@ -77,6 +77,10 @@ struct LitmusRunOpts {
   bool WithFences = false; ///< Fence between each thread's two ops.
   bool Sequential = false; ///< SC reference mode (no weak behaviour).
   bool Randomise = false;  ///< Thread randomisation.
+  /// Record the run's memory events (sim/TraceSink.h) for the axiomatic
+  /// checker / --explain; read them back via LitmusRunner::trace().
+  /// Tracing is pure observation: results are bit-identical either way.
+  bool Trace = false;
 };
 
 /// Executes litmus instances under micro-benchmark stress configurations
@@ -157,6 +161,15 @@ public:
   /// Total executions performed by this runner (tuning-cost reporting).
   uint64_t executions() const { return Execs; }
 
+  /// The events the most recent execution recorded (empty unless it ran
+  /// with RunOpts::Trace). Valid until the next execution.
+  const sim::EventTrace &trace() const { return Ctx.get().trace(); }
+
+  /// Names an address of the most recent execution for explanations: a
+  /// program location name, "wb(reg)" for a register writeback slot, or a
+  /// raw "a<N>" for anything else (stress scratchpad words).
+  std::string addrName(sim::Addr A) const;
+
 private:
   /// The (program, distance)-invariant part of an execution: register
   /// writeback lists, the (block, lane) -> thread dispatch table and the
@@ -183,6 +196,7 @@ private:
   // Per-run scratch, recycled across runs.
   std::vector<sim::Addr> LocAddr;
   std::vector<sim::Word> Regs, FinalRegs, FinalMem;
+  sim::Addr ResultsBase = 0; ///< Writeback allocation (addrName).
 };
 
 } // namespace litmus

@@ -1,0 +1,131 @@
+//===- model/ConsistencyChecker.h - Axiomatic consistency oracle -*- C++ -*-===//
+//
+// Part of the gpuwmm project, a reproduction of "Exposing Errors Related to
+// Weak Memory in GPU Applications" (Sorensen & Donaldson, PLDI 2016).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A herd-style axiomatic checker over recorded executions: validates the
+/// event trace a run emitted (sim/TraceSink.h) against the memory model's
+/// axioms, and classifies the execution as sequentially consistent or weak
+/// (DESIGN.md Sec. 14).
+///
+/// The checker is a differential oracle for the operational simulator. The
+/// operational model *produces* behaviours by mechanism (store buffers,
+/// drain lotteries, split-phase loads); the checker *judges* the recorded
+/// behaviour against declarative axioms, with no access to the mechanism:
+///
+///  * Replay axioms — coherence-per-location (applied same-address plain
+///    writes never step backwards in store order), same-bank FIFO (a
+///    thread's drains on one bank follow its issue order), fence-drain
+///    (nothing of a thread is pending when its device fence completes),
+///    self-coherence/forwarding (a load's bound value and declared source
+///    are exactly what the visibility rules allow), same-bank issue order
+///    (no pending split-phase load on a bank when a store or atomic issues
+///    there), and read-value validity (every bound value equals its
+///    reconstructed writer's value).
+///
+///  * Causality — the execution's communication relations (program order,
+///    reads-from, per-location coherence order, and from-reads) must be
+///    acyclic for the run to be explainable by any sequential interleaving
+///    (Shasha-Snir); a cycle is reported as the violating event chain, the
+///    explanation `gpuwmm litmus --explain` prints for a weak outcome.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUWMM_MODEL_CONSISTENCYCHECKER_H
+#define GPUWMM_MODEL_CONSISTENCYCHECKER_H
+
+#include "sim/TraceSink.h"
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace gpuwmm {
+namespace model {
+
+/// The edge sorts of the causality relation.
+enum class EdgeKind : uint8_t {
+  Po, ///< Program order (same thread, issue order).
+  Rf, ///< Reads-from (write to the read that bound its value).
+  Co, ///< Coherence (per-location order in which writes took effect).
+  Fr  ///< From-read (read to a write coherence-after the one it read).
+};
+
+const char *edgeKindName(EdgeKind K);
+
+/// Verdict over one recorded execution.
+struct CheckResult {
+  /// Every replay axiom held. A violation here is a simulator bug (or a
+  /// hand-built trace that no execution could have produced), never a weak
+  /// behaviour.
+  bool AxiomsOk = true;
+  std::string AxiomViolation; ///< First violated axiom (empty when ok).
+
+  /// The violating event pair: for an axiom violation, the two events that
+  /// contradict each other; for a weak execution, the endpoints of the
+  /// decisive edge of the cycle. SIZE_MAX when unset.
+  size_t ViolatingA = static_cast<size_t>(-1);
+  size_t ViolatingB = static_cast<size_t>(-1);
+
+  /// True iff the communication relations are acyclic, i.e. the run is
+  /// explainable by a sequential interleaving. Only meaningful when
+  /// \ref AxiomsOk.
+  bool Sc = true;
+
+  /// The cycle witnessing a weak execution: (event index, edge to the next
+  /// entry), closing from the last entry back to the first. Empty when SC.
+  std::vector<std::pair<size_t, EdgeKind>> Cycle;
+
+  bool weak() const { return AxiomsOk && !Sc; }
+};
+
+/// Validates and classifies recorded executions. The checker recycles its
+/// working containers (replay maps, causality graph) across \ref check
+/// calls — clear() keeps hash buckets and vector capacity — so checking a
+/// run per sampled campaign cell or per shrink candidate stops allocating
+/// once the containers have grown to the workload's size.
+class ConsistencyChecker {
+public:
+  ConsistencyChecker();
+  ~ConsistencyChecker();
+  ConsistencyChecker(const ConsistencyChecker &) = delete;
+  ConsistencyChecker &operator=(const ConsistencyChecker &) = delete;
+
+  /// Checks one recorded execution. The events must form one run's
+  /// complete trace (reset to reset): the final-state axioms (everything
+  /// drained) anchor on the trace end.
+  CheckResult check(const std::vector<sim::TraceEvent> &Events);
+  CheckResult check(const sim::EventTrace &Trace) {
+    return check(Trace.events());
+  }
+
+private:
+  struct ReplayScratch; ///< Recycled replay-pass containers (in the .cpp).
+  std::unique_ptr<ReplayScratch> ScratchPtr;
+  // Recycled causality-graph storage (adjacency lists per event index).
+  std::vector<std::vector<std::pair<uint32_t, EdgeKind>>> Edges;
+  std::vector<uint8_t> Color;
+};
+
+/// Names an address for human-readable explanations (a litmus location,
+/// a register writeback slot, ...). Null-constructed = raw addresses.
+using AddrNamer = std::function<std::string(sim::Addr)>;
+
+/// One event, rendered: "[e4 t1 tick 12] store-issue y = 1 (id 3)".
+std::string describeEvent(const std::vector<sim::TraceEvent> &Events,
+                          size_t I, const AddrNamer &Namer = nullptr);
+
+/// The whole verdict, rendered: the axiom violation pair, the cycle chain
+/// behind a weak classification, or the SC statement.
+std::string renderExplanation(const std::vector<sim::TraceEvent> &Events,
+                              const CheckResult &R,
+                              const AddrNamer &Namer = nullptr);
+
+} // namespace model
+} // namespace gpuwmm
+
+#endif // GPUWMM_MODEL_CONSISTENCYCHECKER_H

@@ -44,6 +44,10 @@ ContextLease::~ContextLease() {
     return;
   assert(Owner == &pool() &&
          "context lease released on a thread other than its acquirer");
+  // A recycled context must come back with tracing disarmed: the next
+  // acquirer opted into nothing (the trace buffer itself is recycled and
+  // cleared by reset()).
+  Ctx->requestTracing(false);
   // Release builds: a foreign-thread release must not push into this
   // thread's free list (the context belongs to the acquirer's All vector
   // and would dangle once that thread exits). Dropping the lease merely

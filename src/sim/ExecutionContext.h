@@ -35,6 +35,7 @@
 
 #include "sim/MemorySystem.h"
 #include "sim/Scheduler.h"
+#include "sim/TraceSink.h"
 #include "support/Rng.h"
 
 namespace gpuwmm {
@@ -63,8 +64,25 @@ public:
   void reset(const ChipProfile &Chip, uint64_t Seed) {
     R.reseed(Seed);
     Memory.reset(Chip);
+    Trace.clear();
+    if (TraceRequested)
+      Memory.setTraceSink(&Trace);
     ++NumResets;
   }
+
+  /// Arms (or disarms) event tracing for subsequent runs on this context:
+  /// each reset() re-attaches the recycled \ref EventTrace recorder as the
+  /// memory system's sink. Tracing is pure observation — results are
+  /// bit-identical with it on or off — and the recorder's capacity is
+  /// reused across runs, so steady-state traced runs allocate nothing.
+  /// Cleared when a leased context is returned to its pool.
+  void requestTracing(bool On) { TraceRequested = On; }
+  bool tracingRequested() const { return TraceRequested; }
+
+  /// The events recorded by the most recent run (empty when tracing was
+  /// off). Valid until the next reset().
+  EventTrace &trace() { return Trace; }
+  const EventTrace &trace() const { return Trace; }
 
   Rng &rng() { return R; }
   MemorySystem &memory() { return Memory; }
@@ -78,6 +96,8 @@ private:
   Rng R{0};
   MemorySystem Memory;
   Scheduler::Scratch Scratch;
+  EventTrace Trace; ///< Recycled event recorder (attached when requested).
+  bool TraceRequested = false;
   uint64_t NumResets = 0;
 };
 

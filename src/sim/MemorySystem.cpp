@@ -45,6 +45,7 @@ void MemorySystem::reset(const ChipProfile &NewChip) {
   Stats = MemStats();
   SeqMode = false;
   Stress = nullptr;
+  Sink = nullptr;
 
   PressureCache.resize(Chip->NumBanks);
   PressureCacheTick.assign(Chip->NumBanks, ~0ULL);
@@ -89,6 +90,21 @@ Word MemorySystem::visibleRead(unsigned Block, Addr A) const {
   return Mem[A];
 }
 
+Word MemorySystem::visibleReadSrc(unsigned Block, Addr A,
+                                  LoadSource &Src) const {
+  assert(A < Mem.size() && "address out of bounds");
+  if (!Overlay.empty()) {
+    auto Range = Overlay.equal_range(A);
+    for (auto It = Range.first; It != Range.second; ++It)
+      if (It->second.Block == Block) {
+        Src = LoadSource::Overlay;
+        return It->second.V;
+      }
+  }
+  Src = LoadSource::Memory;
+  return Mem[A];
+}
+
 void MemorySystem::atomicWrite(Addr A, Word V) {
   assert(A < Mem.size() && "address out of bounds");
   markDirty(A);
@@ -116,7 +132,16 @@ void MemorySystem::globalWrite(Addr A, Word V, uint64_t StoreId) {
 void MemorySystem::store(unsigned Tid, unsigned Block, Addr A, Word V) {
   ++Stats.Stores;
   if (SeqMode) {
-    globalWrite(A, V, NextStoreId++);
+    const uint64_t Id = NextStoreId++;
+    globalWrite(A, V, Id);
+    if (Sink) {
+      // Sequential mode: the store is issued and globally visible in one
+      // step, so both events carry the same tick.
+      emit({TraceEventKind::StoreIssue, LoadSource::Memory, false, Tid,
+            Block, bankOf(A), A, V, Id, 0});
+      emit({TraceEventKind::StoreDrain, LoadSource::Memory, true, Tid,
+            Block, bankOf(A), A, V, Id, 0});
+    }
     return;
   }
   const unsigned Bank = bankOf(A);
@@ -130,6 +155,9 @@ void MemorySystem::store(unsigned Tid, unsigned Block, Addr A, Word V) {
     TB.Banks.resize(Chip->NumBanks);
   BankQueue &Q = TB.Banks[Bank];
   Q.push({A, V, NextStoreId++, Block, false});
+  if (Sink)
+    emit({TraceEventKind::StoreIssue, LoadSource::Memory, false, Tid, Block,
+          Bank, A, V, Q.Slots.back().StoreId, 0});
   if (!Q.Touched) {
     Q.Touched = true;
     TouchedQueues.emplace_back(Tid, Bank);
@@ -142,39 +170,56 @@ void MemorySystem::store(unsigned Tid, unsigned Block, Addr A, Word V) {
 
 Word MemorySystem::load(unsigned Tid, unsigned Block, Addr A) {
   ++Stats.Loads;
-  if (SeqMode)
-    return visibleRead(Block, A);
-
-  const unsigned Bank = bankOf(A);
-  assert(Tid < Buffers.size() && "thread not registered");
-  ThreadBuffers &TB = Buffers[Tid];
-  if (Bank < TB.Banks.size()) {
-    BankQueue &Q = TB.Banks[Bank];
-    if (!Q.empty()) {
-      // Forward from the newest buffered store to this exact address —
-      // unless a store ordered after ours (a block-visible store published
-      // at a barrier, or a write that already reached global memory)
-      // supersedes it. Per-location coherence forbids reading backwards.
-      for (size_t I = Q.Slots.size(); I != Q.Head; --I) {
-        const BufferedStore &E = Q.Slots[I - 1];
-        if (E.A != A)
-          continue;
-        if (!Overlay.empty()) {
-          auto Range = Overlay.equal_range(A);
-          for (auto OIt = Range.first; OIt != Range.second; ++OIt)
-            if (OIt->second.Block == Block &&
-                OIt->second.StoreId > E.StoreId)
-              return OIt->second.V;
+  LoadSource Src = LoadSource::Memory;
+  Word V = 0;
+  if (SeqMode) {
+    V = visibleReadSrc(Block, A, Src);
+  } else {
+    const unsigned Bank = bankOf(A);
+    assert(Tid < Buffers.size() && "thread not registered");
+    ThreadBuffers &TB = Buffers[Tid];
+    bool Bound = false;
+    if (Bank < TB.Banks.size()) {
+      BankQueue &Q = TB.Banks[Bank];
+      if (!Q.empty()) {
+        // Forward from the newest buffered store to this exact address —
+        // unless a store ordered after ours (a block-visible store
+        // published at a barrier, or a write that already reached global
+        // memory) supersedes it. Per-location coherence forbids reading
+        // backwards.
+        for (size_t I = Q.Slots.size(); I != Q.Head && !Bound; --I) {
+          const BufferedStore &E = Q.Slots[I - 1];
+          if (E.A != A)
+            continue;
+          Bound = true;
+          Src = LoadSource::Forward;
+          V = E.V;
+          if (!Overlay.empty()) {
+            auto Range = Overlay.equal_range(A);
+            for (auto OIt = Range.first; OIt != Range.second; ++OIt)
+              if (OIt->second.Block == Block &&
+                  OIt->second.StoreId > E.StoreId) {
+                Src = LoadSource::OverlaySuperseded;
+                V = OIt->second.V;
+              }
+          }
+          if (Src == LoadSource::Forward && MemWriteId[A] > E.StoreId) {
+            Src = LoadSource::MemorySuperseded;
+            V = Mem[A];
+          }
         }
-        if (MemWriteId[A] > E.StoreId)
-          return Mem[A];
-        return E.V;
+        // Same-bank, different address: self-coherence forces a drain.
+        if (!Bound)
+          selfDrainBank(Tid, Bank);
       }
-      // Same-bank, different address: self-coherence forces a drain.
-      selfDrainBank(Tid, Bank);
     }
+    if (!Bound)
+      V = visibleReadSrc(Block, A, Src);
   }
-  return visibleRead(Block, A);
+  if (Sink)
+    emit({TraceEventKind::LoadBind, Src, false, Tid, Block, bankOf(A), A, V,
+          0, 0});
+  return V;
 }
 
 void MemorySystem::selfDrainBank(unsigned Tid, unsigned Bank) {
@@ -188,7 +233,13 @@ void MemorySystem::selfDrainBank(unsigned Tid, unsigned Bank) {
   drainQueue(Tid, Bank, /*Forced=*/true);
 }
 
-void MemorySystem::applyStore(const BufferedStore &E) {
+void MemorySystem::applyStore(unsigned Tid, const BufferedStore &E) {
+  // Whether the write survives per-location coherence (both branches below
+  // apply it under exactly this condition).
+  const bool Applied = E.StoreId >= MemWriteId[E.A];
+  if (Sink)
+    emit({TraceEventKind::StoreDrain, LoadSource::Memory, Applied, Tid,
+          E.Block, bankOf(E.A), E.A, E.V, E.StoreId, 0});
   if (E.BlockVisible && !Overlay.empty()) {
     // Remove only the overlay value this entry created; a newer
     // block-visible value for the same address must survive, and other
@@ -215,7 +266,7 @@ void MemorySystem::drainQueue(unsigned Tid, unsigned Bank, bool Forced) {
   (void)Forced;
   BankQueue &Q = Buffers[Tid].Banks[Bank];
   while (!Q.empty()) {
-    applyStore(Q.front());
+    applyStore(Tid, Q.front());
     Q.popFront();
   }
   // Deactivation from ActiveQueues happens lazily in tick().
@@ -235,6 +286,9 @@ Word MemorySystem::atomicCAS(unsigned Tid, Addr A, Word Compare, Word Value) {
   const Word Old = Mem[A];
   if (Old == Compare)
     atomicWrite(A, Value);
+  if (Sink)
+    emit({TraceEventKind::Atomic, LoadSource::Memory, Old == Compare, Tid,
+          0, bankOf(A), A, Old == Compare ? Value : Old, Old, 0});
   return Old;
 }
 
@@ -247,6 +301,9 @@ Word MemorySystem::atomicExch(unsigned Tid, Addr A, Word Value) {
   }
   const Word Old = Mem[A];
   atomicWrite(A, Value);
+  if (Sink)
+    emit({TraceEventKind::Atomic, LoadSource::Memory, true, Tid, 0,
+          bankOf(A), A, Value, Old, 0});
   return Old;
 }
 
@@ -259,6 +316,9 @@ Word MemorySystem::atomicAdd(unsigned Tid, Addr A, Word Value) {
   }
   const Word Old = Mem[A];
   atomicWrite(A, Old + Value);
+  if (Sink)
+    emit({TraceEventKind::Atomic, LoadSource::Memory, true, Tid, 0,
+          bankOf(A), A, Old + Value, Old, 0});
   return Old;
 }
 
@@ -268,8 +328,12 @@ Word MemorySystem::atomicAdd(unsigned Tid, Addr A, Word Value) {
 
 unsigned MemorySystem::fenceDevice(unsigned Tid) {
   ++Stats.DeviceFences;
-  if (SeqMode)
+  if (SeqMode) {
+    if (Sink)
+      emit({TraceEventKind::FenceDevice, LoadSource::Memory, false, Tid, 0,
+            0, 0, 0, 0, 0});
     return 1;
+  }
 
   unsigned Latency = Chip->FenceBaseLatency;
   // Complete this thread's pending async loads: a fence orders loads too.
@@ -292,13 +356,23 @@ unsigned MemorySystem::fenceDevice(unsigned Tid) {
       drainQueue(Tid, Bank, /*Forced=*/true);
     }
   }
+  // Emitted after the drains and completions above, so "no event of this
+  // thread issued before the fence is still pending at the fence" is
+  // checkable from trace order alone.
+  if (Sink)
+    emit({TraceEventKind::FenceDevice, LoadSource::Memory, false, Tid, 0, 0,
+          0, 0, 0, 0});
   return Latency;
 }
 
 unsigned MemorySystem::fenceBlock(unsigned Tid, unsigned Block) {
   ++Stats.BlockFences;
-  if (SeqMode)
+  if (SeqMode) {
+    if (Sink)
+      emit({TraceEventKind::FenceBlock, LoadSource::Memory, false, Tid,
+            Block, 0, 0, 0, 0, 0});
     return 1;
+  }
 
   // Complete pending async loads (fence orders loads at block scope too;
   // completion binds against global memory either way).
@@ -306,13 +380,20 @@ unsigned MemorySystem::fenceBlock(unsigned Tid, unsigned Block) {
     if (!Slot.Done && Slot.Tid == Tid)
       completeAsync(Slot);
 
-  if (Tid >= Buffers.size() || Buffers[Tid].Banks.empty())
+  if (Tid >= Buffers.size() || Buffers[Tid].Banks.empty()) {
+    if (Sink)
+      emit({TraceEventKind::FenceBlock, LoadSource::Memory, false, Tid,
+            Block, 0, 0, 0, 0, 0});
     return 2;
+  }
   for (BankQueue &Q : Buffers[Tid].Banks) {
     for (BufferedStore &E : Q) {
       if (E.BlockVisible)
         continue;
       E.BlockVisible = true;
+      if (Sink)
+        emit({TraceEventKind::StorePromote, LoadSource::Memory, false, Tid,
+              Block, bankOf(E.A), E.A, E.V, E.StoreId, 0});
       assert(E.Block == Block && "store buffered under a different block");
       // Publish (or refresh) the block-visible value for this address.
       auto Range = Overlay.equal_range(E.A);
@@ -331,6 +412,9 @@ unsigned MemorySystem::fenceBlock(unsigned Tid, unsigned Block) {
         Overlay.emplace(E.A, OverlayValue{Block, E.V, E.StoreId});
     }
   }
+  if (Sink)
+    emit({TraceEventKind::FenceBlock, LoadSource::Memory, false, Tid, Block,
+          0, 0, 0, 0, 0});
   return 2;
 }
 
@@ -350,7 +434,15 @@ unsigned MemorySystem::issueAsyncLoad(unsigned Tid, Addr A) {
     ++PendingAsyncCount;
   }
   AsyncSlots.push_back(Slot);
-  return static_cast<unsigned>(AsyncSlots.size() - 1);
+  const unsigned Ticket = static_cast<unsigned>(AsyncSlots.size() - 1);
+  if (Sink) {
+    emit({TraceEventKind::AsyncIssue, LoadSource::Memory, false, Tid, 0,
+          bankOf(A), A, 0, Ticket, 0});
+    if (SeqMode)
+      emit({TraceEventKind::AsyncBind, LoadSource::Memory, false, Tid, 0,
+            bankOf(A), A, Slot.V, Ticket, 0});
+  }
+  return Ticket;
 }
 
 bool MemorySystem::asyncDone(unsigned Ticket) const {
@@ -373,6 +465,10 @@ void MemorySystem::completeAsync(AsyncLoadSlot &Slot) {
   Slot.Done = true;
   assert(PendingAsyncCount > 0);
   --PendingAsyncCount;
+  if (Sink)
+    emit({TraceEventKind::AsyncBind, LoadSource::Memory, false, Slot.Tid, 0,
+          bankOf(Slot.A), Slot.A, Slot.V,
+          static_cast<uint64_t>(&Slot - AsyncSlots.data()), 0});
 }
 
 void MemorySystem::completeThreadAsyncOnBank(unsigned Tid, unsigned Bank) {
@@ -449,7 +545,7 @@ void MemorySystem::tick(uint64_t Now) {
         // noise) without breaking application hand-offs natively.
         Q.StallUntil = Now + 2 + R.below(3);
       } else if (R.chance(drainProb(Now, Bank))) {
-        applyStore(Q.front());
+        applyStore(Tid, Q.front());
         Q.popFront();
         if (Q.empty()) {
           Q.Active = false;
@@ -494,4 +590,7 @@ void MemorySystem::hostWrite(Addr A, Word V) {
   markDirty(A);
   Mem[A] = V;
   MemWriteId[A] = NextStoreId++;
+  if (Sink)
+    emit({TraceEventKind::HostWrite, LoadSource::Memory, false, 0, 0,
+          bankOf(A), A, V, MemWriteId[A], 0});
 }

@@ -37,6 +37,13 @@
 /// In sequential mode (used for reference runs) every operation takes
 /// effect immediately and the model is sequentially consistent.
 ///
+/// Every semantically meaningful event above (store issue, buffer drain,
+/// load bind, async issue/completion, atomic, fence drain, block-fence
+/// promotion, host write) is reported through the \ref TraceSink seam
+/// (sim/TraceSink.h) when a sink is installed; the axiomatic consistency
+/// checker (model/ConsistencyChecker.h) validates recorded executions
+/// against the corresponding axioms (DESIGN.md Sec. 14).
+///
 /// Lifecycle (DESIGN.md Sec. 12): a MemorySystem is a reusable engine.
 /// \ref reset rebinds it to a chip and restores the exact observable state
 /// of a freshly constructed instance in O(state touched since the last
@@ -53,6 +60,7 @@
 
 #include "sim/ChipProfile.h"
 #include "sim/Congestion.h"
+#include "sim/TraceSink.h"
 #include "sim/Types.h"
 #include "support/Rng.h"
 
@@ -87,6 +95,13 @@ public:
 
   /// Installs the contention source (not owned). Null means no stress.
   void setCongestionSource(const CongestionSource *S) { Stress = S; }
+
+  /// Installs the trace sink (not owned; null disables tracing). Every
+  /// notification site is guarded by one pointer test, so the seam is
+  /// zero-overhead when off and never perturbs results (the sink observes,
+  /// it cannot steer; DESIGN.md Sec. 14). Cleared by \ref reset.
+  void setTraceSink(TraceSink *S) { Sink = S; }
+  TraceSink *traceSink() const { return Sink; }
 
   /// Declares the number of simulated threads (thread ids are dense).
   void registerThreads(unsigned NumThreads);
@@ -244,7 +259,8 @@ private:
   void atomicWrite(Addr A, Word V);
 
   /// Makes one buffered store globally visible (with overlay bookkeeping).
-  void applyStore(const BufferedStore &E);
+  /// \p Tid is the owning thread (trace attribution).
+  void applyStore(unsigned Tid, const BufferedStore &E);
 
   /// Applies every entry of \p Q to global memory, in order.
   void drainQueue(unsigned Tid, unsigned Bank, bool Forced);
@@ -261,6 +277,18 @@ private:
   /// Read as seen by (Tid, Block) ignoring the thread's own buffers.
   Word visibleRead(unsigned Block, Addr A) const;
 
+  /// \ref visibleRead that also reports where the value came from
+  /// (globally visible memory or a block-visible overlay value).
+  Word visibleReadSrc(unsigned Block, Addr A, LoadSource &Src) const;
+
+  /// Reports \p E to the installed sink, stamped with the current tick.
+  /// Call sites guard with `if (Sink)` so the off path pays exactly one
+  /// pointer test.
+  void emit(TraceEvent E) {
+    E.Tick = CurrentTick;
+    Sink->event(E);
+  }
+
   double drainProb(uint64_t Now, unsigned Bank);
   double asyncProb(uint64_t Now, unsigned Bank);
   const BankPressure &pressure(uint64_t Now, unsigned Bank);
@@ -268,6 +296,7 @@ private:
   const ChipProfile *Chip = nullptr; ///< Rebound by reset().
   Rng &R;
   const CongestionSource *Stress = nullptr;
+  TraceSink *Sink = nullptr; ///< Null = tracing off (the common case).
   bool SeqMode = false;
 
   std::vector<Word> Mem;

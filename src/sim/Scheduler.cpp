@@ -311,6 +311,12 @@ void Scheduler::opBarrier(unsigned Tid) {
 
 void Scheduler::releaseBarrier(unsigned Block) {
   BlockState &BS = S.Blocks[Block];
+  // The barrier-release event precedes the per-participant block-fence
+  // promotions it implies (the sink lives on the memory system so the
+  // whole execution shares one event stream).
+  if (TraceSink *TS = Mem.traceSink())
+    TS->event({TraceEventKind::BarrierRelease, LoadSource::Memory, false, 0,
+               Block, 0, 0, 0, 0, Now});
   // CUDA guarantees block-level memory consistency at barriers: every
   // participant's buffered stores become visible to the block.
   for (unsigned L = 0; L != BS.NumThreads; ++L) {

@@ -312,8 +312,13 @@ TEST(CampaignTest, JsonIsJobsInvariant) {
   harness::writeCampaignJson(Serial, A);
   harness::writeCampaignJson(Parallel, B);
   EXPECT_EQ(A.str(), B.str());
-  EXPECT_NE(A.str().find("\"schema\": \"gpuwmm-campaign-v1\""),
+  EXPECT_NE(A.str().find("\"schema\": \"gpuwmm-campaign-v2\""),
             std::string::npos);
+  EXPECT_NE(A.str().find("\"schema_version\": 2"), std::string::npos);
+  EXPECT_NE(A.str().find("\"tool\": {\"name\": \"gpuwmm\""),
+            std::string::npos);
+  // The oracle was off: its fields must not dirty the report.
+  EXPECT_EQ(A.str().find("oracle"), std::string::npos);
 }
 
 TEST(CampaignTest, CellsMatchDirectRunCell) {

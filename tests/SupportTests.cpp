@@ -8,6 +8,7 @@
 #include "support/Options.h"
 #include "support/Rng.h"
 #include "support/Statistics.h"
+#include "support/Suggest.h"
 #include "support/Table.h"
 
 #include "gtest/gtest.h"
@@ -244,4 +245,84 @@ TEST(OptionsTest, ParsesDoubleAndString) {
 TEST(OptionsTest, ScaledCountHasFloor) {
   EXPECT_GE(scaledCount(0, 3), 3u);
   EXPECT_GE(scaledCount(100), 1u);
+}
+
+TEST(OptionsTest, GetPositiveIntAbsentReturnsDefault) {
+  const char *Argv[] = {"prog"};
+  Options O(1, const_cast<char **>(Argv));
+  EXPECT_EQ(O.getPositiveInt("jobs", 0, 1 << 16), 0);
+}
+
+TEST(OptionsTest, GetPositiveIntAcceptsTheMaxBoundaryExactly) {
+  // Max is inclusive: a value equal to the bound parses; one past it is
+  // rejected (the truncation guard for narrowing casts).
+  const char *Argv[] = {"prog", "--jobs=65536"};
+  Options O(2, const_cast<char **>(Argv));
+  EXPECT_EQ(O.getPositiveInt("jobs", 0, 65536), 65536);
+}
+
+TEST(OptionsDeathTest, GetPositiveIntRejectsOnePastMax) {
+  const char *Argv[] = {"prog", "--jobs=65537"};
+  Options O(2, const_cast<char **>(Argv));
+  EXPECT_EXIT((void)O.getPositiveInt("jobs", 0, 65536),
+              ::testing::ExitedWithCode(2), "positive integer");
+}
+
+TEST(OptionsDeathTest, GetPositiveIntRejectsZeroNegativeAndJunk) {
+  for (const char *Bad : {"--jobs=0", "--jobs=-3", "--jobs=abc",
+                          "--jobs=", "--jobs=12x"}) {
+    const char *Argv[] = {"prog", Bad};
+    Options O(2, const_cast<char **>(Argv));
+    EXPECT_EXIT((void)O.getPositiveInt("jobs", 0, 1 << 16),
+                ::testing::ExitedWithCode(2), "positive integer")
+        << Bad;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Suggest
+//===----------------------------------------------------------------------===//
+
+TEST(SuggestTest, EditDistanceBasics) {
+  EXPECT_EQ(editDistance("", ""), 0u);
+  EXPECT_EQ(editDistance("", "abc"), 3u);
+  EXPECT_EQ(editDistance("abc", ""), 3u);
+  EXPECT_EQ(editDistance("kitten", "sitting"), 3u);
+  EXPECT_EQ(editDistance("MP", "mp"), 0u); // Case-insensitive.
+}
+
+TEST(SuggestTest, EmptyInputsYieldNothing) {
+  EXPECT_TRUE(closeMatches("anything", {}).empty());
+  // An empty given string is within distance 2 of short candidates only.
+  const auto M = closeMatches("", {"ab", "toolongname"});
+  ASSERT_EQ(M.size(), 1u);
+  EXPECT_EQ(M[0], "ab");
+  EXPECT_EQ(suggestClause("anything", {}), "");
+}
+
+TEST(SuggestTest, AllDistantCandidatesYieldNothing) {
+  const auto M = closeMatches("zzzzzz", {"MP", "LB", "SB", "IRIW"});
+  EXPECT_TRUE(M.empty());
+  EXPECT_EQ(suggestClause("zzzzzz", {"MP", "LB", "SB"}), "");
+}
+
+TEST(SuggestTest, TiesKeepCandidateOrder) {
+  // Both candidates are at distance 1; the candidate list's order is the
+  // suggestion order (no hidden re-ranking).
+  const auto M = closeMatches("ax", {"ay", "az"});
+  ASSERT_EQ(M.size(), 2u);
+  EXPECT_EQ(M[0], "ay");
+  EXPECT_EQ(M[1], "az");
+  // A strictly closer candidate wins alone.
+  const auto Best = closeMatches("ax", {"axy", "ax"});
+  ASSERT_EQ(Best.size(), 1u);
+  EXPECT_EQ(Best[0], "ax");
+}
+
+TEST(SuggestTest, ClauseFormatsOneOrTwoMatches) {
+  EXPECT_EQ(suggestClause("IRIV", {"IRIW", "WRC"}),
+            " (did you mean 'IRIW'?)");
+  const std::string Two = suggestClause("ax", {"ay", "az"});
+  EXPECT_NE(Two.find("'ay'"), std::string::npos);
+  EXPECT_NE(Two.find("'az'"), std::string::npos);
 }

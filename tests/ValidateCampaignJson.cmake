@@ -23,7 +23,7 @@ execute_process(
   COMMAND "${GPUWMM_BIN}" campaign "--chips=${CHIPS_CSV}"
           "--envs=${ENVS_CSV}" "--apps=${APPS_CSV}"
           "--litmus=${LITMUS_CSV}" --runs=10 --seed=3
-          --jobs=2 "--out=${OUT}"
+          --jobs=2 --oracle=5 "--out=${OUT}"
   RESULT_VARIABLE RV)
 if(NOT RV EQUAL 0)
   message(FATAL_ERROR "gpuwmm campaign exited with ${RV}")
@@ -32,8 +32,27 @@ endif()
 file(READ "${OUT}" REPORT)
 
 string(JSON SCHEMA ERROR_VARIABLE ERR GET "${REPORT}" schema)
-if(NOT SCHEMA STREQUAL "gpuwmm-campaign-v1")
+if(NOT SCHEMA STREQUAL "gpuwmm-campaign-v2")
   message(FATAL_ERROR "bad or missing schema: ${SCHEMA} ${ERR}")
+endif()
+
+# The schema_version + tool/build metadata header (pinned: consumers key
+# migrations off these fields).
+string(JSON SCHEMA_VERSION ERROR_VARIABLE ERR GET "${REPORT}" schema_version)
+if(NOT SCHEMA_VERSION EQUAL 2)
+  message(FATAL_ERROR "bad or missing schema_version: ${SCHEMA_VERSION} ${ERR}")
+endif()
+string(JSON TOOL_NAME ERROR_VARIABLE ERR GET "${REPORT}" tool name)
+if(NOT TOOL_NAME STREQUAL "gpuwmm")
+  message(FATAL_ERROR "bad or missing tool.name: ${TOOL_NAME} ${ERR}")
+endif()
+string(JSON TOOL_VERSION ERROR_VARIABLE ERR GET "${REPORT}" tool version)
+if(TOOL_VERSION STREQUAL "" OR TOOL_VERSION STREQUAL "unknown")
+  message(FATAL_ERROR "bad or missing tool.version: ${TOOL_VERSION}")
+endif()
+string(JSON ORACLE_EVERY ERROR_VARIABLE ERR GET "${REPORT}" oracle_every)
+if(NOT ORACLE_EVERY EQUAL 5)
+  message(FATAL_ERROR "bad or missing oracle_every: ${ORACLE_EVERY} ${ERR}")
 endif()
 
 string(JSON NCELLS LENGTH "${REPORT}" cells)
@@ -61,6 +80,15 @@ foreach(I RANGE ${LAST})
   endif()
   if(CERRS GREATER CRUNS)
     message(FATAL_ERROR "cell ${I}: errors ${CERRS} > runs ${CRUNS}")
+  endif()
+  # The oracle sampled this cell: axiom validation must be clean.
+  string(JSON CCHECKED GET "${REPORT}" cells ${I} oracle_checked)
+  string(JSON CVIOL GET "${REPORT}" cells ${I} oracle_violations)
+  if(CCHECKED EQUAL 0)
+    message(FATAL_ERROR "cell ${I}: oracle sampled no runs")
+  endif()
+  if(NOT CVIOL EQUAL 0)
+    message(FATAL_ERROR "cell ${I}: ${CVIOL} oracle violation(s)")
   endif()
   list(APPEND SEEN "${CCHIP}/${CENV}/${CAPP}")
 endforeach()
@@ -94,6 +122,11 @@ foreach(I RANGE ${LAST})
   endif()
   if(LWEAK GREATER LRUNS)
     message(FATAL_ERROR "litmus cell ${I}: weak ${LWEAK} > runs ${LRUNS}")
+  endif()
+  # Sampled litmus runs additionally pin checker-vs-simulator agreement.
+  string(JSON LVIOL GET "${REPORT}" litmus ${I} oracle_violations)
+  if(NOT LVIOL EQUAL 0)
+    message(FATAL_ERROR "litmus cell ${I}: ${LVIOL} oracle violation(s)")
   endif()
 endforeach()
 

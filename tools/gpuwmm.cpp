@@ -16,10 +16,12 @@
 
 #include "fuzz/LitmusBridge.h"
 #include "fuzz/ProgramFuzzer.h"
+#include "fuzz/Shrink.h"
 #include "harden/FenceInsertion.h"
 #include "harness/Campaign.h"
 #include "harness/EnvironmentRunner.h"
 #include "litmus/Format.h"
+#include "model/ConsistencyChecker.h"
 #include "support/Options.h"
 #include "support/Suggest.h"
 #include "support/Table.h"
@@ -45,11 +47,14 @@ int usage() {
       "  chips                         list the simulated GPUs\n"
       "  litmus list                   list the built-in litmus catalog\n"
       "  litmus  --chip [--test=NAME | --file=T.litmus] --distance\n"
-      "          [--stress] [--fences] [--runs] [--print]\n"
+      "          [--stress] [--fences] [--runs] [--print] [--explain]\n"
       "                                run a litmus test from the built-in\n"
       "                                catalog (see: gpuwmm litmus list) or\n"
       "                                a .litmus file (docs/litmus-format.md);\n"
-      "                                --print shows the .litmus text instead\n"
+      "                                --print shows the .litmus text instead;\n"
+      "                                --explain cross-checks every run against\n"
+      "                                the axiomatic oracle and prints the\n"
+      "                                event chain behind a weak outcome\n"
       "  tune    --chip [--scale] [--tests=a,b,c]\n"
       "                                run the Sec. 3 tuning pipeline against\n"
       "                                a catalog idiom trio (default MP,LB,SB)\n"
@@ -58,12 +63,20 @@ int usage() {
       "  harden  --chip --app [--stable-runs]\n"
       "                                empirical fence insertion (Alg. 1)\n"
       "  fuzz    --chip [--programs] [--runs] [--file=T.litmus]\n"
-      "          [--export-weak=DIR]   random-program differential fuzzing;\n"
+      "          [--export-weak=DIR] [--shrink [--out=T.litmus]]\n"
+      "                                random-program differential fuzzing;\n"
       "                                --file re-fuzzes an exported case,\n"
       "                                --export-weak writes failing programs\n"
-      "                                as replayable .litmus files\n"
+      "                                as replayable .litmus files,\n"
+      "                                --shrink delta-debugs --file to a\n"
+      "                                minimal program that still provokes\n"
+      "                                the same forbidden outcome (re-checked\n"
+      "                                by the axiomatic oracle)\n"
       "  campaign [--chips=a,b] [--envs=x,y] [--apps=p,q] [--litmus=t,u]\n"
-      "          [--runs] [--out]      the Tab. 5 grid; emits a JSON report\n"
+      "          [--runs] [--out] [--oracle=N]\n"
+      "                                the Tab. 5 grid; emits a JSON report;\n"
+      "                                --oracle=N cross-checks every Nth run\n"
+      "                                against the axiomatic oracle\n"
       "\n"
       "common options: --seed=N; --jobs=N worker threads (results are\n"
       "identical for every N; default GPUWMM_JOBS or all cores);\n"
@@ -204,6 +217,63 @@ int cmdLitmus(const Options &Opts) {
   RunOpts.WithFences = Opts.has("fences");
 
   const auto Tuned = stress::TunedStressParams::paperDefaults(*Chip);
+
+  // --explain: trace every run, cross-check the axiomatic checker against
+  // the operational outcome, and print the human-readable event chain
+  // (the po ∪ rf ∪ co ∪ fr cycle) behind the first weak outcome.
+  if (Opts.has("explain")) {
+    litmus::LitmusRunner::RunOpts TracedOpts = RunOpts;
+    TracedOpts.Trace = true;
+    std::vector<litmus::LitmusRunner::MicroStress> Configs;
+    if (Opts.has("stress"))
+      for (unsigned Region = 0; Region != Chip->NumBanks; ++Region)
+        Configs.push_back(litmus::LitmusRunner::MicroStress::at(
+            Tuned.Seq, Region * Tuned.PatchWords));
+    else
+      Configs.push_back(litmus::LitmusRunner::MicroStress::none());
+
+    model::ConsistencyChecker Checker;
+    const model::AddrNamer Namer = [&Runner](sim::Addr A) {
+      return Runner.addrName(A);
+    };
+    unsigned Checked = 0, Weak = 0, Disagreements = 0;
+    bool Explained = false;
+    for (const auto &S : Configs)
+      for (unsigned I = 0; I != Runs; ++I) {
+        const bool Forbidden = Runner.runOnce(*P, Distance, S, TracedOpts);
+        const model::CheckResult R = Checker.check(Runner.trace());
+        ++Checked;
+        Weak += Forbidden;
+        if (!R.AxiomsOk || R.weak() != Forbidden)
+          ++Disagreements;
+        if (!Explained && (Forbidden || !R.AxiomsOk)) {
+          std::printf("%s d=%u on %s%s%s: execution %u hit the forbidden "
+                      "outcome\n",
+                      P->Name.c_str(), Distance, Chip->ShortName,
+                      Opts.has("stress") ? " +tuned-stress" : "",
+                      RunOpts.WithFences ? " +fences" : "", Checked - 1);
+          std::fputs(model::renderExplanation(Runner.trace().events(), R,
+                                              Namer)
+                         .c_str(),
+                     stdout);
+          Explained = true;
+        }
+      }
+    if (!Explained)
+      std::printf("%s d=%u on %s: no weak outcome in %u executions; "
+                  "nothing to explain\n",
+                  P->Name.c_str(), Distance, Chip->ShortName, Checked);
+    if (Disagreements)
+      std::printf("oracle: %u/%u cross-checked executions DISAGREE with "
+                  "the operational simulator\n",
+                  Disagreements, Checked);
+    else
+      std::printf("oracle: checker agreed with the simulator on all %u "
+                  "executions (%u weak)\n",
+                  Checked, Weak);
+    return Disagreements ? 1 : 0;
+  }
+
   unsigned Weak = 0;
   if (Opts.has("stress")) {
     // Scan one location per bank and report the most effective, as the
@@ -324,6 +394,13 @@ int cmdFuzz(const Options &Opts) {
   Cfg.RunsPerProgram =
       static_cast<unsigned>(Opts.getInt("runs", scaledCount(40)));
 
+  // --shrink operates on one imported case, never on generated batches.
+  if (Opts.has("shrink") && !Opts.has("file")) {
+    std::fprintf(stderr, "error: --shrink needs --file=T.litmus (the weak "
+                         "case to reduce)\n");
+    return 2;
+  }
+
   // --file: re-fuzz one imported .litmus case (e.g. a prior export)
   // against its exhaustive SC set instead of generating programs.
   if (Opts.has("file")) {
@@ -331,6 +408,45 @@ int cmdFuzz(const Options &Opts) {
     std::optional<litmus::Program> L = loadLitmusFile(Path);
     if (!L)
       return 2;
+
+    // --shrink: delta-debug the case down to a minimal program that still
+    // provokes the same forbidden outcome as a weak behaviour (every
+    // candidate is re-validated by the axiomatic checker).
+    if (Opts.has("shrink")) {
+      fuzz::ShrinkOptions SOpts;
+      SOpts.Distance = static_cast<unsigned>(
+          Opts.getInt("distance", 2 * Chip->PatchSizeWords));
+      SOpts.RunsPerAttempt = static_cast<unsigned>(
+          Opts.getInt("runs", scaledCount(250)));
+      SOpts.Seed = static_cast<uint64_t>(Opts.getInt("seed", 1));
+      const fuzz::ShrinkResult R =
+          fuzz::shrinkWeakProgram(*L, *Chip, SOpts);
+      if (!R.Reproduced) {
+        std::fprintf(stderr,
+                     "error: '%s' did not provoke its forbidden outcome "
+                     "as a weak behaviour on %s; nothing to shrink\n",
+                     Path.c_str(), Chip->ShortName);
+        return 1;
+      }
+      std::printf("shrunk: %u -> %u instructions (%u candidates tried, "
+                  "%u reductions kept the weak outcome)\n",
+                  R.OriginalOps, R.ReducedOps, R.Candidates, R.Accepted);
+      const std::string Text = litmus::printLitmus(R.Reduced);
+      if (Opts.has("out")) {
+        const std::string OutPath = Opts.getString("out", "");
+        std::ofstream OS(OutPath);
+        if (!OS) {
+          std::fprintf(stderr, "error: cannot write '%s'\n",
+                       OutPath.c_str());
+          return 1;
+        }
+        OS << Text;
+        std::printf("wrote %s\n", OutPath.c_str());
+      } else {
+        std::fputs(Text.c_str(), stdout);
+      }
+      return 0;
+    }
     std::string Why;
     std::optional<fuzz::Program> P = fuzz::fromLitmusProgram(*L, &Why);
     if (!P) {
@@ -435,6 +551,10 @@ int cmdCampaign(const Options &Opts) {
   Config.Runs =
       static_cast<unsigned>(Opts.getInt("runs", scaledCount(100)));
   Config.Seed = static_cast<uint64_t>(Opts.getInt("seed", 1));
+  // --oracle=N: cross-check every Nth run of every cell against the
+  // axiomatic checker (validated as a positive integer; 0 = off).
+  Config.OracleEvery = static_cast<unsigned>(
+      Opts.has("oracle") ? Opts.getPositiveInt("oracle", 0, 1 << 20) : 0);
 
   ThreadPool Pool = makePool(Opts);
   const auto Start = std::chrono::steady_clock::now();
@@ -449,18 +569,33 @@ int cmdCampaign(const Options &Opts) {
   std::fprintf(stderr, "campaign: %zu cells x %u runs in %.2f s (%u jobs)\n",
                Report.Cells.size(), Config.Runs, WallSeconds, Pool.jobs());
 
+  unsigned OracleChecked = 0, OracleViolations = 0;
+  if (Config.OracleEvery) {
+    for (const harness::CampaignCell &Cell : Report.Cells) {
+      OracleChecked += Cell.OracleChecked;
+      OracleViolations += Cell.OracleViolations;
+    }
+    for (const harness::LitmusCampaignCell &Cell : Report.LitmusCells) {
+      OracleChecked += Cell.OracleChecked;
+      OracleViolations += Cell.OracleViolations;
+    }
+    std::fprintf(stderr, "campaign oracle: %u runs cross-checked, "
+                         "%u violation(s)\n",
+                 OracleChecked, OracleViolations);
+  }
+
   const std::string Out = Opts.getString("out", "-");
   if (Out == "-") {
     harness::writeCampaignJson(Report, std::cout);
-    return 0;
+  } else {
+    std::ofstream OS(Out);
+    if (!OS) {
+      std::fprintf(stderr, "error: cannot write '%s'\n", Out.c_str());
+      return 1;
+    }
+    harness::writeCampaignJson(Report, OS);
   }
-  std::ofstream OS(Out);
-  if (!OS) {
-    std::fprintf(stderr, "error: cannot write '%s'\n", Out.c_str());
-    return 1;
-  }
-  harness::writeCampaignJson(Report, OS);
-  return 0;
+  return OracleViolations ? 1 : 0;
 }
 
 } // namespace
