@@ -3,7 +3,7 @@
 #include "fuzz/Shrink.h"
 
 #include "litmus/Litmus.h"
-#include "model/ConsistencyChecker.h"
+#include "model/StreamingChecker.h"
 #include "stress/Environment.h"
 #include "support/Rng.h"
 
@@ -115,10 +115,10 @@ Program removeUnit(const Program &P, const Unit &U) {
 bool reproducesWeak(const Program &P, const sim::ChipProfile &Chip,
                     const ShrinkOptions &Opts, uint64_t AttemptIdx,
                     unsigned &PreferRegion,
-                    model::ConsistencyChecker &Checker) {
+                    model::StreamingChecker &Checker) {
   litmus::LitmusRunner Runner(Chip, Rng::deriveStream(Opts.Seed, AttemptIdx));
   litmus::LitmusRunner::RunOpts RunOpts;
-  RunOpts.Trace = true;
+  RunOpts.Sink = &Checker;
 
   // Stress locations to try, most-recently-successful region first (the
   // effective region rarely changes between close candidates).
@@ -139,12 +139,18 @@ bool reproducesWeak(const Program &P, const sim::ChipProfile &Chip,
 
   for (const auto &[Region, Stress] : Configs) {
     for (unsigned Run = 0; Run != Opts.RunsPerAttempt; ++Run) {
-      if (!Runner.runOnce(P, Opts.Distance, Stress, RunOpts))
+      // Every run streams through the checker (no trace is retained);
+      // the verdict is only consulted when the forbidden outcome hits.
+      Checker.begin();
+      const bool Forbidden = Runner.runOnce(P, Opts.Distance, Stress,
+                                            RunOpts);
+      const model::StreamVerdict &R = Checker.finish();
+      if (!Forbidden)
         continue;
       // The forbidden outcome was observed; only a checker-confirmed
       // non-SC execution counts (a reduction that makes the outcome
       // sequentially reachable shrank the weakness away).
-      if (Checker.check(Runner.trace()).weak()) {
+      if (R.weak()) {
         PreferRegion = Region;
         return true;
       }
@@ -163,7 +169,7 @@ ShrinkResult fuzz::shrinkWeakProgram(const Program &P,
   Result.OriginalOps = countOps(P);
   Result.ReducedOps = Result.OriginalOps;
 
-  model::ConsistencyChecker Checker;
+  model::StreamingChecker Checker;
   unsigned PreferRegion = 0;
   uint64_t AttemptIdx = 0;
   if (!reproducesWeak(P, Chip, Opts, AttemptIdx++, PreferRegion, Checker))

@@ -10,9 +10,10 @@
 /// given a program whose forbidden clause pins a weak outcome (typically a
 /// `.litmus` file exported by `fuzz --export-weak`), repeatedly remove
 /// instructions while the reduced program still provokes that same
-/// forbidden outcome *as a genuinely weak behaviour* — every candidate is
-/// re-validated by the axiomatic checker (model/ConsistencyChecker.h), so
-/// a reduction that makes the pinned outcome sequentially reachable is
+/// forbidden outcome *as a genuinely weak behaviour* — every candidate
+/// run streams its events through the incremental axiomatic checker
+/// (model/StreamingChecker.h), whose verdict replaces full-trace replay,
+/// so a reduction that makes the pinned outcome sequentially reachable is
 /// rejected rather than reported as a smaller "bug".
 ///
 /// Instructions whose result register appears in the forbidden clause are

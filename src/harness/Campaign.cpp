@@ -2,7 +2,7 @@
 
 #include "harness/Campaign.h"
 
-#include "model/ConsistencyChecker.h"
+#include "model/StreamingChecker.h"
 
 #include <algorithm>
 #include <cassert>
@@ -147,21 +147,25 @@ CampaignReport harness::runCampaign(const CampaignConfig &Config,
     const size_t CellIdx = I / Config.Runs;
     const unsigned Run = static_cast<unsigned>(I % Config.Runs);
     const CampaignCell &Cell = Report.Cells[CellIdx];
-    // Sampled runs record their memory events and are validated against
-    // the model's axioms. Tracing observes only: verdicts (and thus the
-    // report's counts) are identical with the oracle on or off.
+    // Checked runs stream their memory events through the incremental
+    // oracle as they execute: no trace is retained, so --oracle=all costs
+    // frontier-bounded memory. The oracle observes only: verdicts (and
+    // thus the report's counts) are identical with it on or off. One
+    // recycled checker per worker thread, like the contexts.
     const bool Sampled = Config.OracleEvery != 0 &&
                          Run % Config.OracleEvery == 0;
-    Ctx.get().requestTracing(Sampled);
+    thread_local model::StreamingChecker Checker;
+    if (Sampled) {
+      Checker.begin();
+      Ctx.get().requestStreaming(&Checker);
+    }
     Verdicts[I] = apps::runApplicationOnce(
         Ctx.get(), Cell.App, *Cell.Chip, Cell.Env,
         Tuned[CellIdx / CellsPerChip],
         /*Policy=*/nullptr, Rng::deriveStream(CellSeeds[CellIdx], Run));
     if (Sampled) {
-      model::ConsistencyChecker Checker;
-      OracleStatus[I] =
-          Checker.check(Ctx.get().trace()).AxiomsOk ? 1 : 2;
-      Ctx.get().requestTracing(false);
+      Ctx.get().requestStreaming(nullptr);
+      OracleStatus[I] = Checker.finish().AxiomsOk ? 1 : 2;
     }
   });
 
@@ -203,24 +207,28 @@ CampaignReport harness::runCampaign(const CampaignConfig &Config,
       litmus::LitmusRunner Runner(
           Chip, campaignLitmusSeed(Config.Seed, Chip, Test));
       const unsigned Distance = 2 * Chip.PatchSizeWords;
-      model::ConsistencyChecker Checker;
+      model::StreamingChecker Checker;
       for (unsigned Region = 0; Region != Chip.NumBanks; ++Region) {
         const auto Stress = litmus::LitmusRunner::MicroStress::at(
             Tuned.Seq, Region * Tuned.PatchWords);
         unsigned Weak = 0;
         for (unsigned Run = 0; Run != Config.Runs; ++Run) {
-          // Sampled runs are traced and cross-checked: the axioms must
-          // hold and the checker's SC-vs-weak classification must agree
-          // with the operational outcome. Tracing observes only, so the
-          // weak counts are identical with the oracle on or off.
+          // Checked runs stream through the incremental oracle: the
+          // axioms must hold and the checker's SC-vs-weak classification
+          // must agree with the operational outcome. The oracle observes
+          // only, so the weak counts are identical with it on or off.
           litmus::LitmusRunner::RunOpts Opts;
-          Opts.Trace = Config.OracleEvery != 0 &&
-                       Run % Config.OracleEvery == 0;
+          const bool Check = Config.OracleEvery != 0 &&
+                             Run % Config.OracleEvery == 0;
+          if (Check) {
+            Checker.begin();
+            Opts.Sink = &Checker;
+          }
           const bool Forbidden = Runner.runOnce(Test, Distance, Stress,
                                                 Opts);
           Weak += Forbidden;
-          if (Opts.Trace) {
-            const model::CheckResult R = Checker.check(Runner.trace());
+          if (Check) {
+            const model::StreamVerdict &R = Checker.finish();
             ++Cell.OracleChecked;
             if (!R.AxiomsOk || R.weak() != Forbidden)
               ++Cell.OracleViolations;

@@ -43,13 +43,17 @@ struct CampaignConfig {
   std::vector<const litmus::Program *> LitmusTests;
   unsigned Runs = 100;
   uint64_t Seed = 1;
-  /// Cross-check every Nth run of every cell against the axiomatic
-  /// consistency oracle (gpuwmm campaign --oracle=N): sampled app runs are
-  /// traced and validated against the model's axioms, sampled litmus runs
-  /// additionally compare the checker's SC-vs-weak verdict with the
-  /// operational outcome. 0 (the default) disables the oracle and keeps
-  /// the oracle tally fields out of the JSON report entirely. Tracing is
-  /// pure observation, so counts never depend on this setting.
+  /// Cross-check every Nth run of every cell against the consistency
+  /// oracle (gpuwmm campaign --oracle=N; --oracle=all means N=1): checked
+  /// app runs stream their events through the incremental checker
+  /// (model/StreamingChecker.h) and are validated against the model's
+  /// axioms as they execute — no trace is retained, so memory stays
+  /// bounded by the checker's frontier and checking every run is the
+  /// default-capable path. Checked litmus runs additionally compare the
+  /// checker's SC-vs-weak verdict with the operational outcome. 0 (the
+  /// default) disables the oracle and keeps the oracle tally fields out
+  /// of the JSON report entirely. The oracle observes only, so counts
+  /// never depend on this setting.
   unsigned OracleEvery = 0;
 
   /// The paper's full Tab. 5 grid: 7 chips x 8 environments x 10 apps.

@@ -151,9 +151,11 @@ bool LitmusRunner::runOnce(const Program &P, unsigned Distance,
   Rng RunRng = Master.fork(Execs);
   ++Execs;
 
-  // Arm (or disarm) the context's recycled event recorder before the
-  // Device resets it; tracing observes only, so results stay bit-identical.
+  // Arm (or disarm) the context's recycled event recorder — or an
+  // external streaming sink — before the Device resets it; either form
+  // observes only, so results stay bit-identical.
   Ctx.get().requestTracing(Opts.Trace);
+  Ctx.get().requestStreaming(Opts.Sink);
   sim::Device Dev(Ctx.get(), Chip, RunRng.next());
   Dev.setSequentialMode(Opts.Sequential);
   Dev.setRandomiseThreads(Opts.Randomise);

@@ -81,6 +81,11 @@ struct LitmusRunOpts {
   /// checker / --explain; read them back via LitmusRunner::trace().
   /// Tracing is pure observation: results are bit-identical either way.
   bool Trace = false;
+  /// Streaming sink: feed the run's events to an external incremental
+  /// consumer (e.g. model::StreamingChecker) instead of recording them.
+  /// The caller brackets the run with the consumer's begin()/finish().
+  /// Takes precedence over \ref Trace; equally pure observation.
+  sim::TraceSink *Sink = nullptr;
 };
 
 /// Executes litmus instances under micro-benchmark stress configurations

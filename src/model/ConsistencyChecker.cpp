@@ -555,12 +555,9 @@ CheckResult ConsistencyChecker::check(const std::vector<TraceEvent> &Events) {
 // Rendering
 //===----------------------------------------------------------------------===//
 
-std::string model::describeEvent(const std::vector<TraceEvent> &Events,
-                                 size_t I, const AddrNamer &Namer) {
+std::string model::describeEvent(const TraceEvent &E, size_t I,
+                                 const AddrNamer &Namer) {
   std::ostringstream OS;
-  if (I >= Events.size())
-    return "<no event>";
-  const TraceEvent &E = Events[I];
   const auto Name = [&](Addr A) {
     if (Namer)
       return Namer(A);
@@ -602,6 +599,13 @@ std::string model::describeEvent(const std::vector<TraceEvent> &Events,
     break;
   }
   return OS.str();
+}
+
+std::string model::describeEvent(const std::vector<TraceEvent> &Events,
+                                 size_t I, const AddrNamer &Namer) {
+  if (I >= Events.size())
+    return "<no event>";
+  return describeEvent(Events[I], I, Namer);
 }
 
 std::string model::renderExplanation(const std::vector<TraceEvent> &Events,

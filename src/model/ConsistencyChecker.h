@@ -115,7 +115,11 @@ private:
 /// a register writeback slot, ...). Null-constructed = raw addresses.
 using AddrNamer = std::function<std::string(sim::Addr)>;
 
-/// One event, rendered: "[e4 t1 tick 12] store-issue y = 1 (id 3)".
+/// One event, rendered: "[e4 t1 tick 12] store-issue y = 1 (id 3)". The
+/// index is display-only (the "e4"); the event itself may come from a
+/// trace or from a streaming verdict's retained copy.
+std::string describeEvent(const sim::TraceEvent &E, size_t I,
+                          const AddrNamer &Namer = nullptr);
 std::string describeEvent(const std::vector<sim::TraceEvent> &Events,
                           size_t I, const AddrNamer &Namer = nullptr);
 

@@ -44,10 +44,12 @@ ContextLease::~ContextLease() {
     return;
   assert(Owner == &pool() &&
          "context lease released on a thread other than its acquirer");
-  // A recycled context must come back with tracing disarmed: the next
-  // acquirer opted into nothing (the trace buffer itself is recycled and
-  // cleared by reset()).
+  // A recycled context must come back with tracing and streaming
+  // disarmed: the next acquirer opted into nothing (the trace buffer
+  // itself is recycled and cleared by reset()), and a streaming sink is
+  // external state the pool must never retain a pointer to.
   Ctx->requestTracing(false);
+  Ctx->requestStreaming(nullptr);
   // Release builds: a foreign-thread release must not push into this
   // thread's free list (the context belongs to the acquirer's All vector
   // and would dangle once that thread exits). Dropping the lease merely

@@ -65,7 +65,9 @@ public:
     R.reseed(Seed);
     Memory.reset(Chip);
     Trace.clear();
-    if (TraceRequested)
+    if (StreamSink)
+      Memory.setTraceSink(StreamSink);
+    else if (TraceRequested)
       Memory.setTraceSink(&Trace);
     ++NumResets;
   }
@@ -78,6 +80,16 @@ public:
   /// Cleared when a leased context is returned to its pool.
   void requestTracing(bool On) { TraceRequested = On; }
   bool tracingRequested() const { return TraceRequested; }
+
+  /// Streaming-sink mode: each reset() attaches \p S (an external
+  /// incremental consumer, e.g. model::StreamingChecker) as the memory
+  /// system's sink instead of the recycled EventTrace recorder. The run
+  /// is judged as it executes and no trace is retained, so memory stays
+  /// bounded by the consumer's frontier rather than run length. Pass
+  /// nullptr to disarm. Takes precedence over \ref requestTracing; like
+  /// it, cleared when a leased context is returned to its pool.
+  void requestStreaming(TraceSink *S) { StreamSink = S; }
+  TraceSink *streamingSink() const { return StreamSink; }
 
   /// The events recorded by the most recent run (empty when tracing was
   /// off). Valid until the next reset().
@@ -97,6 +109,7 @@ private:
   MemorySystem Memory;
   Scheduler::Scratch Scratch;
   EventTrace Trace; ///< Recycled event recorder (attached when requested).
+  TraceSink *StreamSink = nullptr; ///< External sink (streaming mode).
   bool TraceRequested = false;
   uint64_t NumResets = 0;
 };

@@ -131,3 +131,64 @@ foreach(I RANGE ${LAST})
 endforeach()
 
 message(STATUS "campaign JSON valid: ${NCELLS} cells, ${NSUMMARIES} summaries, ${NLITMUS} litmus cells")
+
+# --- --oracle=all: every run of every cell is verified ----------------------
+# A second 2x3-cell grid (1 chip x 2 envs x 3 apps) with the streaming
+# oracle on every run: per-cell oracle_checked must equal runs and stay
+# violation-free, and the cell counts must be bit-identical to the same
+# grid with the oracle off (the oracle observes only).
+set(ALL_OUT "${OUT}.oracle-all.json")
+set(OFF_OUT "${OUT}.oracle-off.json")
+execute_process(
+  COMMAND "${GPUWMM_BIN}" campaign --chips=titan
+          "--envs=no-str-,sys-str+" "--apps=cbe-dot,cbe-ht,sdk-red"
+          --runs=10 --seed=3 --jobs=2 --oracle=all "--out=${ALL_OUT}"
+  RESULT_VARIABLE RV)
+if(NOT RV EQUAL 0)
+  message(FATAL_ERROR "gpuwmm campaign --oracle=all exited with ${RV}")
+endif()
+execute_process(
+  COMMAND "${GPUWMM_BIN}" campaign --chips=titan
+          "--envs=no-str-,sys-str+" "--apps=cbe-dot,cbe-ht,sdk-red"
+          --runs=10 --seed=3 --jobs=2 "--out=${OFF_OUT}"
+  RESULT_VARIABLE RV)
+if(NOT RV EQUAL 0)
+  message(FATAL_ERROR "gpuwmm campaign (oracle off) exited with ${RV}")
+endif()
+
+file(READ "${ALL_OUT}" ALL_REPORT)
+string(JSON ORACLE_EVERY ERROR_VARIABLE ERR GET "${ALL_REPORT}" oracle_every)
+if(NOT ORACLE_EVERY EQUAL 1)
+  message(FATAL_ERROR "--oracle=all: expected oracle_every 1, got"
+                      " ${ORACLE_EVERY} ${ERR}")
+endif()
+string(JSON NALL LENGTH "${ALL_REPORT}" cells)
+if(NOT NALL EQUAL 6) # 1 chip * 2 envs * 3 apps
+  message(FATAL_ERROR "--oracle=all: expected 6 cells, got ${NALL}")
+endif()
+file(READ "${OFF_OUT}" OFF_REPORT)
+math(EXPR LAST "${NALL} - 1")
+foreach(I RANGE ${LAST})
+  string(JSON ARUNS GET "${ALL_REPORT}" cells ${I} runs)
+  string(JSON ACHECKED GET "${ALL_REPORT}" cells ${I} oracle_checked)
+  string(JSON AVIOL GET "${ALL_REPORT}" cells ${I} oracle_violations)
+  if(NOT ACHECKED EQUAL ARUNS)
+    message(FATAL_ERROR "--oracle=all cell ${I}: oracle_checked"
+                        " ${ACHECKED} != runs ${ARUNS}")
+  endif()
+  if(NOT AVIOL EQUAL 0)
+    message(FATAL_ERROR "--oracle=all cell ${I}: ${AVIOL} violation(s)")
+  endif()
+  # Counts must not depend on the oracle: compare against the oracle-off
+  # report field by field.
+  foreach(FIELD chip env app runs errors timeouts)
+    string(JSON AVAL GET "${ALL_REPORT}" cells ${I} ${FIELD})
+    string(JSON OVAL GET "${OFF_REPORT}" cells ${I} ${FIELD})
+    if(NOT AVAL STREQUAL OVAL)
+      message(FATAL_ERROR "--oracle=all cell ${I}: ${FIELD} perturbed"
+                          " (${AVAL} vs ${OVAL})")
+    endif()
+  endforeach()
+endforeach()
+
+message(STATUS "campaign --oracle=all valid: ${NALL} cells, every run checked")

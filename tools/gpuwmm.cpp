@@ -21,7 +21,7 @@
 #include "harness/Campaign.h"
 #include "harness/EnvironmentRunner.h"
 #include "litmus/Format.h"
-#include "model/ConsistencyChecker.h"
+#include "model/StreamingChecker.h"
 #include "support/Options.h"
 #include "support/Suggest.h"
 #include "support/Table.h"
@@ -73,10 +73,12 @@ int usage() {
       "                                the same forbidden outcome (re-checked\n"
       "                                by the axiomatic oracle)\n"
       "  campaign [--chips=a,b] [--envs=x,y] [--apps=p,q] [--litmus=t,u]\n"
-      "          [--runs] [--out] [--oracle=N]\n"
+      "          [--runs] [--out] [--oracle=N|all]\n"
       "                                the Tab. 5 grid; emits a JSON report;\n"
-      "                                --oracle=N cross-checks every Nth run\n"
-      "                                against the axiomatic oracle\n"
+      "                                --oracle=N streams every Nth run\n"
+      "                                through the axiomatic oracle\n"
+      "                                (--oracle=all checks every run;\n"
+      "                                memory stays frontier-bounded)\n"
       "\n"
       "common options: --seed=N; --jobs=N worker threads (results are\n"
       "identical for every N; default GPUWMM_JOBS or all cores);\n"
@@ -218,12 +220,16 @@ int cmdLitmus(const Options &Opts) {
 
   const auto Tuned = stress::TunedStressParams::paperDefaults(*Chip);
 
-  // --explain: trace every run, cross-check the axiomatic checker against
-  // the operational outcome, and print the human-readable event chain
-  // (the po ∪ rf ∪ co ∪ fr cycle) behind the first weak outcome.
+  // --explain: stream every run's events through the incremental checker
+  // (no trace is retained — memory stays bounded by the checker's
+  // frontier), cross-check its verdict against the operational outcome,
+  // and print the human-readable event chain (the po ∪ rf ∪ co ∪ fr
+  // cycle, extracted from the retained frontier) behind the first weak
+  // outcome.
   if (Opts.has("explain")) {
-    litmus::LitmusRunner::RunOpts TracedOpts = RunOpts;
-    TracedOpts.Trace = true;
+    litmus::LitmusRunner::RunOpts StreamOpts = RunOpts;
+    model::StreamingChecker Checker;
+    StreamOpts.Sink = &Checker;
     std::vector<litmus::LitmusRunner::MicroStress> Configs;
     if (Opts.has("stress"))
       for (unsigned Region = 0; Region != Chip->NumBanks; ++Region)
@@ -232,7 +238,6 @@ int cmdLitmus(const Options &Opts) {
     else
       Configs.push_back(litmus::LitmusRunner::MicroStress::none());
 
-    model::ConsistencyChecker Checker;
     const model::AddrNamer Namer = [&Runner](sim::Addr A) {
       return Runner.addrName(A);
     };
@@ -240,8 +245,9 @@ int cmdLitmus(const Options &Opts) {
     bool Explained = false;
     for (const auto &S : Configs)
       for (unsigned I = 0; I != Runs; ++I) {
-        const bool Forbidden = Runner.runOnce(*P, Distance, S, TracedOpts);
-        const model::CheckResult R = Checker.check(Runner.trace());
+        Checker.begin();
+        const bool Forbidden = Runner.runOnce(*P, Distance, S, StreamOpts);
+        const model::StreamVerdict &R = Checker.finish();
         ++Checked;
         Weak += Forbidden;
         if (!R.AxiomsOk || R.weak() != Forbidden)
@@ -252,9 +258,7 @@ int cmdLitmus(const Options &Opts) {
                       P->Name.c_str(), Distance, Chip->ShortName,
                       Opts.has("stress") ? " +tuned-stress" : "",
                       RunOpts.WithFences ? " +fences" : "", Checked - 1);
-          std::fputs(model::renderExplanation(Runner.trace().events(), R,
-                                              Namer)
-                         .c_str(),
+          std::fputs(model::renderStreamExplanation(R, Namer).c_str(),
                      stdout);
           Explained = true;
         }
@@ -551,10 +555,16 @@ int cmdCampaign(const Options &Opts) {
   Config.Runs =
       static_cast<unsigned>(Opts.getInt("runs", scaledCount(100)));
   Config.Seed = static_cast<uint64_t>(Opts.getInt("seed", 1));
-  // --oracle=N: cross-check every Nth run of every cell against the
-  // axiomatic checker (validated as a positive integer; 0 = off).
-  Config.OracleEvery = static_cast<unsigned>(
-      Opts.has("oracle") ? Opts.getPositiveInt("oracle", 0, 1 << 20) : 0);
+  // --oracle=N: stream every Nth run of every cell through the
+  // incremental checker (validated as a positive integer; 0 = off).
+  // --oracle=all verifies every run (N=1): the streaming checker's
+  // memory is bounded by its frontier, not the run length, so checking
+  // everything is affordable.
+  if (Opts.has("oracle") && Opts.getString("oracle", "") == "all")
+    Config.OracleEvery = 1;
+  else
+    Config.OracleEvery = static_cast<unsigned>(
+        Opts.has("oracle") ? Opts.getPositiveInt("oracle", 0, 1 << 20) : 0);
 
   ThreadPool Pool = makePool(Opts);
   const auto Start = std::chrono::steady_clock::now();
