@@ -1,0 +1,160 @@
+//===- bench/bench_shard_store.cpp - Campaign fabric storage costs -----------===//
+//
+// Part of the gpuwmm project, a reproduction of "Exposing Errors Related to
+// Weak Memory in GPU Applications" (Sorensen & Donaldson, PLDI 2016).
+//
+// Measures the sharded campaign fabric's storage overhead (DESIGN.md
+// Sec. 16), answering "what does durability cost per cell?":
+//
+//  * append: fsync'd record appends per second — the per-cell overhead a
+//    sharded worker pays over the monolithic campaign. One cell runs for
+//    seconds, so thousands of appends per second means the fabric's
+//    durability tax is noise.
+//  * merge: loading + merging a full-grid-sized synthetic store (the
+//    paper's 560 app cells, striped across 4 shards) back into a report.
+//
+// The hard failure condition: a real sharded run of a small grid must
+// merge to bytes identical to the monolithic report — the fabric's core
+// contract, enforced here so the bench job also guards it.
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/Campaign.h"
+#include "harness/Merge.h"
+#include "harness/ShardStore.h"
+#include "harness/WorkList.h"
+#include "support/Options.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+using namespace gpuwmm;
+
+namespace {
+
+double now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct TempDir {
+  std::filesystem::path Path;
+  explicit TempDir(const char *Name) : Path(Name) {
+    std::error_code Ec;
+    std::filesystem::remove_all(Path, Ec);
+  }
+  ~TempDir() {
+    std::error_code Ec;
+    std::filesystem::remove_all(Path, Ec);
+  }
+  std::string str() const { return Path.string(); }
+};
+
+} // namespace
+
+int main() {
+  // --- Arm A: durable append throughput ------------------------------------
+  // The paper's full grid as the manifest; synthetic but seed-correct
+  // records (merge validates runs + derived seed, not counts).
+  harness::CampaignConfig Full = harness::CampaignConfig::full();
+  const auto Work = harness::buildWorkList(Full);
+  const unsigned Appends =
+      std::min<unsigned>(scaledCount(2000), unsigned(4 * Work.size()));
+
+  TempDir AppendDir("bench-shard-append.tmp");
+  std::string Err;
+  auto Store = harness::ShardStore::open(AppendDir.str(), Full, &Err);
+  if (!Store) {
+    std::fprintf(stderr, "FAILED: %s\n", Err.c_str());
+    return 1;
+  }
+  const auto RecordFor = [&](size_t Item) {
+    harness::ShardRecord R;
+    const auto &W = Work[Item % Work.size()];
+    const std::string Key = harness::workItemKey(Full, W);
+    R.Chip = Full.Chips[W.ChipIdx]->ShortName;
+    R.Env = Full.Envs[W.EnvIdx].name();
+    R.App = apps::appName(Full.Apps[W.AppIdx]);
+    R.Seed = harness::workItemSeed(Full, W);
+    R.Runs = Full.Runs;
+    R.Errors = unsigned(Item % 7);
+    R.Timeouts = unsigned(Item % 3);
+    return R;
+  };
+  const double AppendStart = now();
+  for (unsigned I = 0; I != Appends; ++I)
+    if (!Store->append(RecordFor(I % Work.size()), &Err)) {
+      std::fprintf(stderr, "FAILED: append: %s\n", Err.c_str());
+      return 1;
+    }
+  const double AppendSecs = now() - AppendStart;
+  std::printf("append: %u fsync'd records in %.3fs (%.0f records/s)\n",
+              Appends, AppendSecs, Appends / AppendSecs);
+
+  // --- Arm B: full-grid store load + merge ---------------------------------
+  TempDir MergeDir("bench-shard-merge.tmp");
+  for (unsigned Shard = 0; Shard != 4; ++Shard) {
+    auto Worker = harness::ShardStore::open(MergeDir.str(), Full, &Err);
+    if (!Worker) {
+      std::fprintf(stderr, "FAILED: %s\n", Err.c_str());
+      return 1;
+    }
+    for (size_t Item = Shard; Item < Work.size(); Item += 4)
+      if (!Worker->append(RecordFor(Item), &Err)) {
+        std::fprintf(stderr, "FAILED: append: %s\n", Err.c_str());
+        return 1;
+      }
+  }
+  const double MergeStart = now();
+  harness::CampaignReport Synthetic;
+  harness::MergeStats Stats;
+  if (!harness::mergeCampaignShards(MergeDir.str(), Synthetic, Stats,
+                                    &Err)) {
+    std::fprintf(stderr, "FAILED: merge: %s\n", Err.c_str());
+    return 1;
+  }
+  const double MergeSecs = now() - MergeStart;
+  std::printf("merge: %zu cells from %u shards in %.3fs (%.0f cells/s)\n",
+              Stats.CellsMerged, Stats.ShardFiles, MergeSecs,
+              Stats.CellsMerged / MergeSecs);
+
+  // --- Hard failure condition: sharded == monolithic, byte for byte --------
+  harness::CampaignConfig Small;
+  Small.Chips = {sim::ChipProfile::lookup("titan")};
+  Small.Envs = {{stress::StressKind::None, false},
+                {stress::StressKind::Sys, true}};
+  Small.Apps = {apps::AppKind::CbeDot, apps::AppKind::CbeHt};
+  Small.Runs = scaledCount(20);
+  Small.Seed = 42;
+  std::ostringstream Mono;
+  harness::writeCampaignJson(harness::runCampaign(Small), Mono);
+
+  TempDir FabricDir("bench-shard-fabric.tmp");
+  harness::FabricOptions Opts;
+  Opts.Dir = FabricDir.str();
+  harness::FabricOutcome Out;
+  if (!harness::runCampaignFabric(Small, Opts, nullptr, Out, &Err)) {
+    std::fprintf(stderr, "FAILED: fabric: %s\n", Err.c_str());
+    return 1;
+  }
+  harness::CampaignReport Merged;
+  if (!harness::mergeCampaignShards(FabricDir.str(), Merged, Stats, &Err)) {
+    std::fprintf(stderr, "FAILED: merge: %s\n", Err.c_str());
+    return 1;
+  }
+  std::ostringstream Sharded;
+  harness::writeCampaignJson(Merged, Sharded);
+  if (Mono.str() != Sharded.str()) {
+    std::fprintf(stderr, "FAILED: sharded report differs from the "
+                         "monolithic report\n");
+    return 1;
+  }
+  std::printf("contract: sharded report == monolithic report "
+              "(%u cells, %u runs)\n",
+              Out.Completed, Small.Runs);
+  return 0;
+}

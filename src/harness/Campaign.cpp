@@ -2,11 +2,17 @@
 
 #include "harness/Campaign.h"
 
+#include "harness/ShardStore.h"
+#include "harness/WorkList.h"
 #include "model/StreamingChecker.h"
 
 #include <algorithm>
 #include <cassert>
+#include <csignal>
+#include <cstdio>
+#include <numeric>
 #include <ostream>
+#include <set>
 
 /// Build version baked into the campaign JSON header (kept in sync with
 /// the CMake project version; the build passes it via compile definition).
@@ -195,47 +201,9 @@ CampaignReport harness::runCampaign(const CampaignConfig &Config,
     Report.LitmusCells.resize(Config.Chips.size() *
                               Config.LitmusTests.size());
     parallelFor(Pool, Report.LitmusCells.size(), [&](size_t I) {
-      const sim::ChipProfile &Chip =
-          *Config.Chips[I / Config.LitmusTests.size()];
-      const litmus::Program &Test =
-          *Config.LitmusTests[I % Config.LitmusTests.size()];
-      LitmusCampaignCell &Cell = Report.LitmusCells[I];
-      Cell.Chip = &Chip;
-      Cell.Test = &Test;
-      Cell.Runs = Config.Runs;
-      const auto Tuned = stress::TunedStressParams::paperDefaults(Chip);
-      litmus::LitmusRunner Runner(
-          Chip, campaignLitmusSeed(Config.Seed, Chip, Test));
-      const unsigned Distance = 2 * Chip.PatchSizeWords;
-      model::StreamingChecker Checker;
-      for (unsigned Region = 0; Region != Chip.NumBanks; ++Region) {
-        const auto Stress = litmus::LitmusRunner::MicroStress::at(
-            Tuned.Seq, Region * Tuned.PatchWords);
-        unsigned Weak = 0;
-        for (unsigned Run = 0; Run != Config.Runs; ++Run) {
-          // Checked runs stream through the incremental oracle: the
-          // axioms must hold and the checker's SC-vs-weak classification
-          // must agree with the operational outcome. The oracle observes
-          // only, so the weak counts are identical with it on or off.
-          litmus::LitmusRunner::RunOpts Opts;
-          const bool Check = Config.OracleEvery != 0 &&
-                             Run % Config.OracleEvery == 0;
-          if (Check) {
-            Checker.begin();
-            Opts.Sink = &Checker;
-          }
-          const bool Forbidden = Runner.runOnce(Test, Distance, Stress,
-                                                Opts);
-          Weak += Forbidden;
-          if (Check) {
-            const model::StreamVerdict &R = Checker.finish();
-            ++Cell.OracleChecked;
-            if (!R.AxiomsOk || R.weak() != Forbidden)
-              ++Cell.OracleViolations;
-          }
-        }
-        Cell.Weak = std::max(Cell.Weak, Weak);
-      }
+      Report.LitmusCells[I] = runCampaignLitmusCell(
+          Config, *Config.Chips[I / Config.LitmusTests.size()],
+          *Config.LitmusTests[I % Config.LitmusTests.size()]);
     });
   }
 
@@ -248,6 +216,201 @@ CampaignReport harness::runCampaign(const CampaignConfig &Config,
     S.AppsEffective += R.effective();
   }
   return Report;
+}
+
+CampaignCell harness::runCampaignAppCell(const CampaignConfig &Config,
+                                         const sim::ChipProfile &Chip,
+                                         const stress::Environment &Env,
+                                         apps::AppKind App,
+                                         ThreadPool *Pool) {
+  CampaignCell Cell;
+  Cell.Chip = &Chip;
+  Cell.Env = Env;
+  Cell.App = App;
+  Cell.Result.Runs = Config.Runs;
+  const uint64_t CellSeed = campaignCellSeed(Config.Seed, Chip, Env, App);
+  const auto Tuned = stress::TunedStressParams::paperDefaults(Chip);
+  std::vector<apps::AppVerdict> Verdicts(Config.Runs);
+  std::vector<uint8_t> OracleStatus(Config.OracleEvery ? Config.Runs : 0,
+                                    0);
+  // Same per-run math as runCampaign's flattened loop: run R executes at
+  // deriveStream(cell seed, R), and every OracleEvery-th run streams
+  // through the incremental checker — so this cell's counts are
+  // bit-identical to the monolithic campaign's.
+  parallelFor(Pool, Config.Runs, [&](size_t Run) {
+    sim::ContextLease Ctx;
+    const bool Sampled = Config.OracleEvery != 0 &&
+                         Run % Config.OracleEvery == 0;
+    thread_local model::StreamingChecker Checker;
+    if (Sampled) {
+      Checker.begin();
+      Ctx.get().requestStreaming(&Checker);
+    }
+    Verdicts[Run] = apps::runApplicationOnce(
+        Ctx.get(), App, Chip, Env, Tuned,
+        /*Policy=*/nullptr, Rng::deriveStream(CellSeed, Run));
+    if (Sampled) {
+      Ctx.get().requestStreaming(nullptr);
+      OracleStatus[Run] = Checker.finish().AxiomsOk ? 1 : 2;
+    }
+  });
+  for (unsigned Run = 0; Run != Config.Runs; ++Run) {
+    const apps::AppVerdict V = Verdicts[Run];
+    if (apps::isErroneous(V))
+      ++Cell.Result.Errors;
+    if (V == apps::AppVerdict::Timeout)
+      ++Cell.Result.Timeouts;
+    if (Config.OracleEvery) {
+      Cell.OracleChecked += OracleStatus[Run] != 0;
+      Cell.OracleViolations += OracleStatus[Run] == 2;
+    }
+  }
+  return Cell;
+}
+
+LitmusCampaignCell
+harness::runCampaignLitmusCell(const CampaignConfig &Config,
+                               const sim::ChipProfile &Chip,
+                               const litmus::Program &Test) {
+  // The `gpuwmm litmus --stress` scan: Runs executions per per-bank
+  // stress location, best location's weak count, at the chip's default
+  // distance and the cell's canonical-identity seed.
+  LitmusCampaignCell Cell;
+  Cell.Chip = &Chip;
+  Cell.Test = &Test;
+  Cell.Runs = Config.Runs;
+  const auto Tuned = stress::TunedStressParams::paperDefaults(Chip);
+  litmus::LitmusRunner Runner(Chip,
+                              campaignLitmusSeed(Config.Seed, Chip, Test));
+  const unsigned Distance = 2 * Chip.PatchSizeWords;
+  model::StreamingChecker Checker;
+  for (unsigned Region = 0; Region != Chip.NumBanks; ++Region) {
+    const auto Stress = litmus::LitmusRunner::MicroStress::at(
+        Tuned.Seq, Region * Tuned.PatchWords);
+    unsigned Weak = 0;
+    for (unsigned Run = 0; Run != Config.Runs; ++Run) {
+      // Checked runs stream through the incremental oracle: the
+      // axioms must hold and the checker's SC-vs-weak classification
+      // must agree with the operational outcome. The oracle observes
+      // only, so the weak counts are identical with it on or off.
+      litmus::LitmusRunner::RunOpts Opts;
+      const bool Check = Config.OracleEvery != 0 &&
+                         Run % Config.OracleEvery == 0;
+      if (Check) {
+        Checker.begin();
+        Opts.Sink = &Checker;
+      }
+      const bool Forbidden = Runner.runOnce(Test, Distance, Stress, Opts);
+      Weak += Forbidden;
+      if (Check) {
+        const model::StreamVerdict &R = Checker.finish();
+        ++Cell.OracleChecked;
+        if (!R.AxiomsOk || R.weak() != Forbidden)
+          ++Cell.OracleViolations;
+      }
+    }
+    Cell.Weak = std::max(Cell.Weak, Weak);
+  }
+  return Cell;
+}
+
+bool harness::runCampaignFabric(const CampaignConfig &Config,
+                                const FabricOptions &Opts, ThreadPool *Pool,
+                                FabricOutcome &Out, std::string *Err) {
+  Out = FabricOutcome();
+  assert(!Config.Chips.empty() && !Config.Envs.empty() &&
+         !Config.Apps.empty() && "empty campaign grid");
+  const std::vector<CampaignWorkItem> Work = buildWorkList(Config);
+
+  // Cell identity is the store's dedupe key, so a selection that aliases
+  // cells (e.g. --chips=titan,titan) would collapse in the merge and can
+  // never reproduce the monolithic report — refuse it up front.
+  {
+    std::set<std::string> Keys;
+    for (const CampaignWorkItem &Item : Work)
+      if (!Keys.insert(workItemKey(Config, Item)).second) {
+        if (Err)
+          *Err = "campaign selection repeats cell '" +
+                 workItemKey(Config, Item) +
+                 "'; sharded campaigns need a duplicate-free grid";
+        return false;
+      }
+  }
+
+  std::optional<ShardStore> Store = ShardStore::open(Opts.Dir, Config, Err);
+  if (!Store)
+    return false;
+
+  std::set<std::string> Durable;
+  if (Opts.Resume) {
+    // Torn tails are tolerated here by construction: the torn record
+    // never parses, so its cell is absent from Durable and re-runs.
+    LoadedShards Shards;
+    if (!loadCampaignShards(Opts.Dir, Shards, Err))
+      return false;
+    Out.Warnings = Shards.Warnings;
+    for (const ShardRecord &R : Shards.Records)
+      Durable.insert(R.key());
+  }
+
+  std::vector<size_t> All;
+  const std::vector<size_t> *Selection = Opts.Selection;
+  if (!Selection) {
+    All.resize(Work.size());
+    std::iota(All.begin(), All.end(), size_t{0});
+    Selection = &All;
+  }
+
+  unsigned Appended = 0;
+  for (const size_t Idx : *Selection) {
+    assert(Idx < Work.size() && "cell index outside the work list");
+    const CampaignWorkItem &Item = Work[Idx];
+    const std::string Key = workItemKey(Config, Item);
+    if (Durable.count(Key)) {
+      ++Out.Skipped;
+      continue;
+    }
+    ShardRecord Record;
+    Record.Chip = Config.Chips[Item.ChipIdx]->ShortName;
+    Record.Seed = workItemSeed(Config, Item);
+    Record.Runs = Config.Runs;
+    if (Item.ItemKind == CampaignWorkItem::Kind::Litmus) {
+      const LitmusCampaignCell Cell = runCampaignLitmusCell(
+          Config, *Config.Chips[Item.ChipIdx],
+          *Config.LitmusTests[Item.TestIdx]);
+      Record.IsLitmus = true;
+      Record.Test = Cell.Test->Name;
+      Record.Weak = Cell.Weak;
+      Record.OracleChecked = Cell.OracleChecked;
+      Record.OracleViolations = Cell.OracleViolations;
+    } else {
+      const CampaignCell Cell = runCampaignAppCell(
+          Config, *Config.Chips[Item.ChipIdx], Config.Envs[Item.EnvIdx],
+          Config.Apps[Item.AppIdx], Pool);
+      Record.Env = Cell.Env.name();
+      Record.App = apps::appName(Cell.App);
+      Record.Errors = Cell.Result.Errors;
+      Record.Timeouts = Cell.Result.Timeouts;
+      Record.OracleChecked = Cell.OracleChecked;
+      Record.OracleViolations = Cell.OracleViolations;
+    }
+    if (!Store->append(Record, Err))
+      return false;
+    ++Out.Completed;
+    Out.OracleViolations += Record.OracleViolations;
+    // Crash-injection hook: die the hardest way possible (SIGKILL — no
+    // destructors, no flushing) right after the Nth durable append, so
+    // the tests prove the store's records survive and --resume completes
+    // the grid byte-identically.
+    if (Opts.CrashAfterAppends && ++Appended == Opts.CrashAfterAppends) {
+      std::fprintf(stderr,
+                   "campaign: crash hook firing after %u record(s)\n",
+                   Appended);
+      ::raise(SIGKILL);
+    }
+  }
+  Out.ShardPath = Store->shardPath();
+  return true;
 }
 
 void harness::writeCampaignJson(const CampaignReport &Report,

@@ -26,6 +26,7 @@
 #include "litmus/Litmus.h"
 
 #include <iosfwd>
+#include <string>
 #include <vector>
 
 namespace gpuwmm {
@@ -112,6 +113,56 @@ uint64_t campaignLitmusSeed(uint64_t Seed, const sim::ChipProfile &Chip,
 /// over \p Pool (serial when null).
 CampaignReport runCampaign(const CampaignConfig &Config,
                            ThreadPool *Pool = nullptr);
+
+/// Runs one app cell at its canonical derived seed, parallelizing the
+/// run index space over \p Pool. Counts are bit-identical to the same
+/// cell inside runCampaign — the unit the sharded fabric executes and
+/// the merge reassembles.
+CampaignCell runCampaignAppCell(const CampaignConfig &Config,
+                                const sim::ChipProfile &Chip,
+                                const stress::Environment &Env,
+                                apps::AppKind App,
+                                ThreadPool *Pool = nullptr);
+
+/// Runs one litmus cell (the per-bank stress scan) at its canonical
+/// derived seed; bit-identical to the same cell inside runCampaign.
+LitmusCampaignCell runCampaignLitmusCell(const CampaignConfig &Config,
+                                         const sim::ChipProfile &Chip,
+                                         const litmus::Program &Test);
+
+/// How a sharded campaign worker runs (gpuwmm campaign --out-dir=DIR
+/// [--resume] [--cells=A..B,K]; DESIGN.md Sec. 16).
+struct FabricOptions {
+  std::string Dir; ///< Campaign directory (manifest + shard files).
+  /// Skip cells that already have a durable record in the store
+  /// (tolerating torn tails: a torn cell is re-run).
+  bool Resume = false;
+  /// Work-list indices this worker covers (null = every cell), so N
+  /// workers can stripe one grid with disjoint --cells= selections.
+  const std::vector<size_t> *Selection = nullptr;
+  /// Crash-injection test hook (GPUWMM_CAMPAIGN_CRASH_AFTER): SIGKILL
+  /// this process immediately after the Nth durable append, proving
+  /// --resume + report recover byte-identically. 0 = off.
+  unsigned CrashAfterAppends = 0;
+};
+
+/// What a fabric worker did, for the CLI's stderr summary and tests.
+struct FabricOutcome {
+  unsigned Completed = 0; ///< Cells run and durably appended.
+  unsigned Skipped = 0;   ///< Cells already durable (--resume).
+  unsigned OracleViolations = 0; ///< Across this worker's cells.
+  std::string ShardPath; ///< This worker's shard file ("" if none).
+  std::vector<std::string> Warnings; ///< E.g. torn tails seen on resume.
+};
+
+/// Runs \p Config's cells as a sharded campaign worker: opens (or joins)
+/// the store at \p Opts.Dir, then runs each selected cell and appends
+/// one fsync'd record per completion — a SIGKILL at any point loses at
+/// most the in-flight cell. False + \p Err on configuration or I/O
+/// errors.
+bool runCampaignFabric(const CampaignConfig &Config,
+                       const FabricOptions &Opts, ThreadPool *Pool,
+                       FabricOutcome &Out, std::string *Err);
 
 /// Renders the report as JSON ("gpuwmm-campaign-v2"): a schema_version +
 /// tool metadata header (name and build version only — never wall-clock

@@ -1,0 +1,106 @@
+//===- harness/Merge.cpp - Shard-to-report merge -----------------------------===//
+
+#include "harness/Merge.h"
+
+#include "harness/ShardStore.h"
+#include "harness/WorkList.h"
+
+#include <set>
+
+using namespace gpuwmm;
+using namespace gpuwmm::harness;
+
+bool harness::mergeCampaignShards(const std::string &Dir,
+                                  CampaignReport &Report, MergeStats &Stats,
+                                  std::string *Err) {
+  Stats = MergeStats();
+  CampaignConfig Config;
+  if (!loadCampaignManifest(Dir, Config, Err))
+    return false;
+  LoadedShards Shards;
+  if (!loadCampaignShards(Dir, Shards, Err))
+    return false;
+  Stats.ShardFiles = Shards.ShardFiles;
+  Stats.Duplicates = Shards.Duplicates;
+  Stats.TornShards = Shards.TornShards;
+  Stats.Warnings = Shards.Warnings;
+
+  const std::vector<CampaignWorkItem> Work = buildWorkList(Config);
+  Report = CampaignReport();
+  Report.Config = Config;
+  std::set<std::string> Expected;
+
+  for (const CampaignWorkItem &Item : Work) {
+    const std::string Key = workItemKey(Config, Item);
+    Expected.insert(Key);
+    const auto It = Shards.ByKey.find(Key);
+    if (It == Shards.ByKey.end()) {
+      Stats.MissingCells.push_back(Key);
+      continue;
+    }
+    const ShardRecord &R = Shards.Records[It->second];
+    // A record that contradicts the manifest's run count or the cell's
+    // canonical derived seed did not come from this campaign's config —
+    // refuse rather than merge unrelated numbers.
+    if (R.Runs != Config.Runs || R.Seed != workItemSeed(Config, Item)) {
+      if (Err)
+        *Err = "record for cell '" + Key +
+               "' contradicts the manifest (runs or derived seed differ)";
+      return false;
+    }
+    if (Item.ItemKind == CampaignWorkItem::Kind::Litmus) {
+      LitmusCampaignCell Cell;
+      Cell.Chip = Config.Chips[Item.ChipIdx];
+      Cell.Test = Config.LitmusTests[Item.TestIdx];
+      Cell.Runs = R.Runs;
+      Cell.Weak = R.Weak;
+      Cell.OracleChecked = R.OracleChecked;
+      Cell.OracleViolations = R.OracleViolations;
+      Report.LitmusCells.push_back(Cell);
+    } else {
+      CampaignCell Cell;
+      Cell.Chip = Config.Chips[Item.ChipIdx];
+      Cell.Env = Config.Envs[Item.EnvIdx];
+      Cell.App = Config.Apps[Item.AppIdx];
+      Cell.Result.Runs = R.Runs;
+      Cell.Result.Errors = R.Errors;
+      Cell.Result.Timeouts = R.Timeouts;
+      Cell.OracleChecked = R.OracleChecked;
+      Cell.OracleViolations = R.OracleViolations;
+      Report.Cells.push_back(Cell);
+    }
+  }
+
+  // A record for a cell outside the manifest's grid is corruption, not
+  // surplus: the manifest check on open should make this impossible.
+  for (const ShardRecord &R : Shards.Records)
+    if (!Expected.count(R.key())) {
+      if (Err)
+        *Err = "record for cell '" + R.key() +
+               "' is outside the manifest's grid";
+      return false;
+    }
+
+  if (!Stats.MissingCells.empty()) {
+    if (Err) {
+      *Err = std::to_string(Stats.MissingCells.size()) + " of " +
+             std::to_string(Work.size()) +
+             " cells have no durable record (first missing: '" +
+             Stats.MissingCells.front() +
+             "'); finish the campaign with --resume";
+    }
+    return false;
+  }
+
+  // Tab. 5 "a/b" summaries, recomputed from the cells exactly as
+  // runCampaign computes them.
+  Report.Summaries.resize(Config.Chips.size() * Config.Envs.size());
+  for (size_t CellIdx = 0; CellIdx != Report.Cells.size(); ++CellIdx) {
+    const CellResult &R = Report.Cells[CellIdx].Result;
+    EnvironmentSummary &S = Report.Summaries[CellIdx / Config.Apps.size()];
+    S.AppsWithErrors += R.observed();
+    S.AppsEffective += R.effective();
+  }
+  Stats.CellsMerged = Report.Cells.size() + Report.LitmusCells.size();
+  return true;
+}

@@ -1,0 +1,56 @@
+//===- harness/Merge.h - Shard-to-report merge ------------------*- C++ -*-===//
+//
+// Part of the gpuwmm project, a reproduction of "Exposing Errors Related to
+// Weak Memory in GPU Applications" (Sorensen & Donaldson, PLDI 2016).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Merges a campaign directory's shards back into the monolithic
+/// CampaignReport (DESIGN.md Sec. 16). The merge is order-independent
+/// and idempotent: records may arrive in any shard, in any order, from
+/// any number of workers, with duplicates and a torn tail — the result
+/// is byte-identical to the single-process report for the same config,
+/// because cells are placed by work-list position and summaries are
+/// recomputed from the cells exactly as runCampaign computes them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUWMM_HARNESS_MERGE_H
+#define GPUWMM_HARNESS_MERGE_H
+
+#include "harness/Campaign.h"
+
+#include <string>
+#include <vector>
+
+namespace gpuwmm {
+namespace harness {
+
+/// What a merge saw: counts for reporting, warnings to surface (torn
+/// tails, duplicates), and — when the merge failed for incompleteness —
+/// the missing cell identities, so callers can distinguish "resume me"
+/// (exit 1) from malformed input (exit 2).
+struct MergeStats {
+  size_t CellsMerged = 0;
+  unsigned ShardFiles = 0;
+  unsigned Duplicates = 0;
+  unsigned TornShards = 0;
+  std::vector<std::string> MissingCells;
+  std::vector<std::string> Warnings;
+};
+
+/// Rebuilds the full CampaignReport from \p Dir's manifest and shards.
+/// On success, writeCampaignJson(Report) is byte-identical to the
+/// uninterrupted single-process campaign at the manifest's config.
+/// Fails when the manifest is unreadable, a record is corrupt, a record
+/// contradicts the manifest (wrong runs or derived seed — seed-scheme
+/// drift), or cells are missing (\p Stats.MissingCells is then
+/// non-empty: the campaign needs `campaign --resume`, not `report`).
+bool mergeCampaignShards(const std::string &Dir, CampaignReport &Report,
+                         MergeStats &Stats, std::string *Err);
+
+} // namespace harness
+} // namespace gpuwmm
+
+#endif // GPUWMM_HARNESS_MERGE_H

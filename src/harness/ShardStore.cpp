@@ -1,0 +1,415 @@
+//===- harness/ShardStore.cpp - Durable per-cell result store ----------------===//
+
+#include "harness/ShardStore.h"
+
+#include "support/Json.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <limits>
+#include <functional>
+
+#include <sys/stat.h>
+
+/// Build version baked into the manifest (kept in sync with the CMake
+/// project version; the build passes it via compile definition). Resuming
+/// or striping a campaign across builds of different versions is refused —
+/// the record schema and simulator behaviour are only pinned per version.
+#ifndef GPUWMM_VERSION
+#define GPUWMM_VERSION "unknown"
+#endif
+
+using namespace gpuwmm;
+using namespace gpuwmm::harness;
+
+std::string ShardRecord::key() const {
+  if (IsLitmus)
+    return "litmus/" + Chip + "/" + Test;
+  return "app/" + Chip + "/" + Env + "/" + App;
+}
+
+std::string ShardRecord::toJson() const {
+  std::string S = "{\"kind\": \"";
+  S += IsLitmus ? "litmus" : "app";
+  S += "\", \"chip\": \"" + jsonEscape(Chip) + "\"";
+  if (IsLitmus)
+    S += ", \"test\": \"" + jsonEscape(Test) + "\"";
+  else
+    S += ", \"env\": \"" + jsonEscape(Env) + "\", \"app\": \"" +
+         jsonEscape(App) + "\"";
+  S += ", \"seed\": " + std::to_string(Seed);
+  S += ", \"runs\": " + std::to_string(Runs);
+  if (IsLitmus)
+    S += ", \"weak\": " + std::to_string(Weak);
+  else
+    S += ", \"errors\": " + std::to_string(Errors) +
+         ", \"timeouts\": " + std::to_string(Timeouts);
+  S += ", \"oracle_checked\": " + std::to_string(OracleChecked);
+  S += ", \"oracle_violations\": " + std::to_string(OracleViolations);
+  S += "}";
+  return S;
+}
+
+namespace {
+
+/// Fetches a required member of \p Obj, failing with a field-specific
+/// message; \p WantString selects string vs number kind.
+const JsonValue *requireField(const JsonValue &Obj, const char *Key,
+                              bool WantString, std::string *Err) {
+  const JsonValue *V = Obj.find(Key);
+  if (!V || (WantString ? V->kind() != JsonValue::Kind::String
+                        : V->kind() != JsonValue::Kind::Number)) {
+    if (Err)
+      *Err = std::string("shard record is missing or mistypes '") + Key +
+             "'";
+    return nullptr;
+  }
+  return V;
+}
+
+bool getUnsigned(const JsonValue &Obj, const char *Key, unsigned &Out,
+                 std::string *Err) {
+  const JsonValue *V = requireField(Obj, Key, /*WantString=*/false, Err);
+  if (!V)
+    return false;
+  // Counts are plain non-negative integers; a sign, fraction or exponent
+  // (or a value wider than unsigned) marks a record we did not write.
+  const std::string &Text = V->numberText();
+  if (Text.find_first_not_of("0123456789") != std::string::npos ||
+      V->asUInt64() > std::numeric_limits<unsigned>::max()) {
+    if (Err)
+      *Err = std::string("shard record field '") + Key +
+             "' is not an unsigned integer";
+    return false;
+  }
+  Out = static_cast<unsigned>(V->asUInt64());
+  return true;
+}
+
+} // namespace
+
+std::optional<ShardRecord> ShardRecord::fromJson(std::string_view Payload,
+                                                 std::string *Err) {
+  const std::optional<JsonValue> Doc = parseJson(Payload, Err);
+  if (!Doc)
+    return std::nullopt;
+  if (!Doc->isObject()) {
+    if (Err)
+      *Err = "shard record is not a JSON object";
+    return std::nullopt;
+  }
+  const JsonValue *Kind = requireField(*Doc, "kind", true, Err);
+  if (!Kind)
+    return std::nullopt;
+  ShardRecord R;
+  if (Kind->asString() == "litmus")
+    R.IsLitmus = true;
+  else if (Kind->asString() != "app") {
+    if (Err)
+      *Err = "shard record has unknown kind '" + Kind->asString() + "'";
+    return std::nullopt;
+  }
+  const JsonValue *Chip = requireField(*Doc, "chip", true, Err);
+  if (!Chip)
+    return std::nullopt;
+  R.Chip = Chip->asString();
+  if (R.IsLitmus) {
+    const JsonValue *Test = requireField(*Doc, "test", true, Err);
+    if (!Test || !getUnsigned(*Doc, "weak", R.Weak, Err))
+      return std::nullopt;
+    R.Test = Test->asString();
+  } else {
+    const JsonValue *Env = requireField(*Doc, "env", true, Err);
+    const JsonValue *App = Env ? requireField(*Doc, "app", true, Err)
+                               : nullptr;
+    if (!App || !getUnsigned(*Doc, "errors", R.Errors, Err) ||
+        !getUnsigned(*Doc, "timeouts", R.Timeouts, Err))
+      return std::nullopt;
+    R.Env = Env->asString();
+    R.App = App->asString();
+  }
+  const JsonValue *Seed = requireField(*Doc, "seed", false, Err);
+  if (!Seed || !getUnsigned(*Doc, "runs", R.Runs, Err) ||
+      !getUnsigned(*Doc, "oracle_checked", R.OracleChecked, Err) ||
+      !getUnsigned(*Doc, "oracle_violations", R.OracleViolations, Err))
+    return std::nullopt;
+  R.Seed = Seed->asUInt64();
+  return R;
+}
+
+std::string harness::campaignManifestJson(const CampaignConfig &Config) {
+  std::string S;
+  S += "{\n";
+  S += "  \"schema\": \"gpuwmm-campaign-manifest-v1\",\n";
+  S += "  \"report_schema\": \"gpuwmm-campaign-v2\",\n";
+  S += "  \"tool\": {\"name\": \"gpuwmm\", \"version\": \"" GPUWMM_VERSION
+       "\"},\n";
+  S += "  \"seed\": " + std::to_string(Config.Seed) + ",\n";
+  S += "  \"runs\": " + std::to_string(Config.Runs) + ",\n";
+  S += "  \"oracle_every\": " + std::to_string(Config.OracleEvery) + ",\n";
+  const auto NameList = [&S](const char *Key,
+                             const std::vector<std::string> &Names) {
+    S += "  \"";
+    S += Key;
+    S += "\": [";
+    for (size_t I = 0; I != Names.size(); ++I) {
+      S += I ? ", " : "";
+      S += "\"" + jsonEscape(Names[I]) + "\"";
+    }
+    S += "],\n";
+  };
+  std::vector<std::string> Names;
+  for (const sim::ChipProfile *Chip : Config.Chips)
+    Names.push_back(Chip->ShortName);
+  NameList("chips", Names);
+  Names.clear();
+  for (const stress::Environment &Env : Config.Envs)
+    Names.push_back(Env.name());
+  NameList("envs", Names);
+  Names.clear();
+  for (apps::AppKind App : Config.Apps)
+    Names.push_back(apps::appName(App));
+  NameList("apps", Names);
+  Names.clear();
+  for (const litmus::Program *Test : Config.LitmusTests)
+    Names.push_back(Test->Name);
+  NameList("litmus", Names);
+  const size_t Cells =
+      Config.Chips.size() * Config.Envs.size() * Config.Apps.size() +
+      Config.Chips.size() * Config.LitmusTests.size();
+  S += "  \"cells\": " + std::to_string(Cells) + "\n";
+  S += "}\n";
+  return S;
+}
+
+bool harness::parseCampaignManifest(const std::string &Text,
+                                    CampaignConfig &Config,
+                                    std::string *Err) {
+  const std::optional<JsonValue> Doc = parseJson(Text, Err);
+  if (!Doc)
+    return false;
+  const JsonValue *Schema = Doc->find("schema");
+  if (!Doc->isObject() || !Schema ||
+      Schema->kind() != JsonValue::Kind::String ||
+      Schema->asString() != "gpuwmm-campaign-manifest-v1") {
+    if (Err)
+      *Err = "not a gpuwmm campaign manifest";
+    return false;
+  }
+  const JsonValue *Seed = Doc->find("seed");
+  const JsonValue *Runs = Doc->find("runs");
+  const JsonValue *Oracle = Doc->find("oracle_every");
+  if (!Seed || !Runs || !Oracle) {
+    if (Err)
+      *Err = "manifest is missing seed/runs/oracle_every";
+    return false;
+  }
+  Config = CampaignConfig();
+  Config.Chips.clear();
+  Config.Envs.clear();
+  Config.Apps.clear();
+  Config.Seed = Seed->asUInt64();
+  Config.Runs = static_cast<unsigned>(Runs->asUInt64());
+  Config.OracleEvery = static_cast<unsigned>(Oracle->asUInt64());
+
+  const auto ForEachName =
+      [&](const char *Key,
+          const std::function<bool(const std::string &)> &Add) -> bool {
+    const JsonValue *List = Doc->find(Key);
+    if (!List || !List->isArray()) {
+      if (Err)
+        *Err = std::string("manifest is missing the '") + Key + "' list";
+      return false;
+    }
+    for (const JsonValue &V : List->items()) {
+      if (V.kind() != JsonValue::Kind::String || !Add(V.asString())) {
+        if (Err && Err->empty())
+          *Err = std::string("manifest names an unknown ") + Key +
+                 " entry" +
+                 (V.kind() == JsonValue::Kind::String
+                      ? " '" + V.asString() + "'"
+                      : "");
+        return false;
+      }
+    }
+    return true;
+  };
+
+  if (!ForEachName("chips", [&](const std::string &Name) {
+        const sim::ChipProfile *Chip = sim::ChipProfile::lookup(Name);
+        if (Chip)
+          Config.Chips.push_back(Chip);
+        return Chip != nullptr;
+      }))
+    return false;
+  if (!ForEachName("envs", [&](const std::string &Name) {
+        const auto Env = stress::Environment::parse(Name);
+        if (Env)
+          Config.Envs.push_back(*Env);
+        return Env.has_value();
+      }))
+    return false;
+  if (!ForEachName("apps", [&](const std::string &Name) {
+        const auto App = apps::parseAppName(Name);
+        if (App)
+          Config.Apps.push_back(*App);
+        return App.has_value();
+      }))
+    return false;
+  if (!ForEachName("litmus", [&](const std::string &Name) {
+        const litmus::Program *Test = litmus::findCatalogProgram(Name);
+        if (Test)
+          Config.LitmusTests.push_back(Test);
+        return Test != nullptr;
+      }))
+    return false;
+  if (Config.Chips.empty() || Config.Envs.empty() || Config.Apps.empty()) {
+    if (Err)
+      *Err = "manifest describes an empty campaign grid";
+    return false;
+  }
+  return true;
+}
+
+bool harness::loadCampaignManifest(const std::string &Dir,
+                                   CampaignConfig &Config,
+                                   std::string *Err) {
+  std::string Text;
+  if (!readFile(Dir + "/manifest.json", Text, Err))
+    return false;
+  if (!parseCampaignManifest(Text, Config, Err)) {
+    if (Err)
+      *Err = "'" + Dir + "/manifest.json': " + *Err;
+    return false;
+  }
+  return true;
+}
+
+std::optional<ShardStore> ShardStore::open(const std::string &Dir,
+                                           const CampaignConfig &Config,
+                                           std::string *Err) {
+  if (::mkdir(Dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    if (Err)
+      *Err = "cannot create campaign directory '" + Dir +
+             "': " + std::strerror(errno);
+    return std::nullopt;
+  }
+  const std::string Manifest = campaignManifestJson(Config);
+  const std::string Path = Dir + "/manifest.json";
+  std::string Existing;
+  std::string ReadErr;
+  if (readFile(Path, Existing, &ReadErr)) {
+    // Joining an existing campaign: the directory's identity must match
+    // this worker's config exactly, or shards from different campaigns
+    // (or tool versions) would silently mix.
+    if (Existing != Manifest) {
+      if (Err)
+        *Err = "'" + Path + "' describes a different campaign (grid, "
+               "seed, runs, oracle or tool version differ); use a fresh "
+               "--out-dir or matching flags";
+      return std::nullopt;
+    }
+  } else if (!atomicWriteFile(Path, Manifest, Err)) {
+    return std::nullopt;
+  }
+  ShardStore Store;
+  Store.Directory = Dir;
+  return Store;
+}
+
+bool ShardStore::append(const ShardRecord &Record, std::string *Err) {
+  if (!Log.isOpen()) {
+    // Claim the lowest free shard index; O_EXCL arbitrates races between
+    // workers sharing the directory.
+    for (unsigned I = 0; I != 10000; ++I) {
+      char Name[32];
+      std::snprintf(Name, sizeof(Name), "shard-%04u.jsonl", I);
+      bool Exists = false;
+      std::string ClaimErr;
+      auto Claimed =
+          RecordLog::createExclusive(Directory + "/" + Name, &ClaimErr,
+                                     &Exists);
+      if (Claimed) {
+        Log = std::move(*Claimed);
+        break;
+      }
+      if (!Exists) {
+        if (Err)
+          *Err = ClaimErr;
+        return false;
+      }
+    }
+    if (!Log.isOpen()) {
+      if (Err)
+        *Err = "no free shard slot in '" + Directory + "'";
+      return false;
+    }
+  }
+  return Log.append(Record.toJson(), Err);
+}
+
+bool harness::loadCampaignShards(const std::string &Dir, LoadedShards &Out,
+                                 std::string *Err) {
+  Out = LoadedShards();
+  std::vector<std::string> Shards;
+  std::error_code Ec;
+  for (const auto &Entry : std::filesystem::directory_iterator(Dir, Ec)) {
+    const std::string Name = Entry.path().filename().string();
+    if (Name.rfind("shard-", 0) == 0 &&
+        Name.size() > 6 + 6 &&
+        Name.compare(Name.size() - 6, 6, ".jsonl") == 0)
+      Shards.push_back(Entry.path().string());
+  }
+  if (Ec) {
+    if (Err)
+      *Err = "cannot list '" + Dir + "': " + Ec.message();
+    return false;
+  }
+  std::sort(Shards.begin(), Shards.end());
+
+  for (const std::string &Shard : Shards) {
+    ++Out.ShardFiles;
+    std::string Text;
+    if (!readFile(Shard, Text, Err))
+      return false;
+    const FramedRecords Framed = parseFramedRecords(Text);
+    if (Framed.TornTail) {
+      ++Out.TornShards;
+      Out.Warnings.push_back(
+          "'" + Shard + "': torn tail record truncated at byte " +
+          std::to_string(Framed.ValidBytes) +
+          " (crash mid-append; the cell will be re-run on --resume)");
+    }
+    for (const std::string &Payload : Framed.Payloads) {
+      std::string ParseErr;
+      const std::optional<ShardRecord> R =
+          ShardRecord::fromJson(Payload, &ParseErr);
+      if (!R) {
+        if (Err)
+          *Err = "'" + Shard + "': " + ParseErr;
+        return false;
+      }
+      const std::string Key = R->key();
+      const auto [It, Inserted] =
+          Out.ByKey.emplace(Key, Out.Records.size());
+      if (Inserted) {
+        Out.Records.push_back(*R);
+        continue;
+      }
+      // Cells are pure functions of their canonical seed, so duplicate
+      // records must agree; a conflict means the store mixes campaigns
+      // and no merge of it can be trusted.
+      if (!(Out.Records[It->second] == *R)) {
+        if (Err)
+          *Err = "'" + Shard + "': conflicting duplicate record for cell "
+                 "'" + Key + "' (the store mixes incompatible runs)";
+        return false;
+      }
+      ++Out.Duplicates;
+    }
+  }
+  return true;
+}

@@ -1,0 +1,115 @@
+//===- harness/WorkList.cpp - Campaign cell descriptors ----------------------===//
+
+#include "harness/WorkList.h"
+
+#include <algorithm>
+#include <cctype>
+
+using namespace gpuwmm;
+using namespace gpuwmm::harness;
+
+std::vector<CampaignWorkItem>
+harness::buildWorkList(const CampaignConfig &Config) {
+  std::vector<CampaignWorkItem> Work;
+  Work.reserve(Config.Chips.size() * Config.Envs.size() *
+                   Config.Apps.size() +
+               Config.Chips.size() * Config.LitmusTests.size());
+  for (size_t C = 0; C != Config.Chips.size(); ++C)
+    for (size_t E = 0; E != Config.Envs.size(); ++E)
+      for (size_t A = 0; A != Config.Apps.size(); ++A) {
+        CampaignWorkItem Item;
+        Item.ItemKind = CampaignWorkItem::Kind::App;
+        Item.ChipIdx = C;
+        Item.EnvIdx = E;
+        Item.AppIdx = A;
+        Work.push_back(Item);
+      }
+  for (size_t C = 0; C != Config.Chips.size(); ++C)
+    for (size_t T = 0; T != Config.LitmusTests.size(); ++T) {
+      CampaignWorkItem Item;
+      Item.ItemKind = CampaignWorkItem::Kind::Litmus;
+      Item.ChipIdx = C;
+      Item.TestIdx = T;
+      Work.push_back(Item);
+    }
+  return Work;
+}
+
+std::string harness::workItemKey(const CampaignConfig &Config,
+                                 const CampaignWorkItem &Item) {
+  const std::string Chip = Config.Chips[Item.ChipIdx]->ShortName;
+  if (Item.ItemKind == CampaignWorkItem::Kind::Litmus)
+    return "litmus/" + Chip + "/" + Config.LitmusTests[Item.TestIdx]->Name;
+  return "app/" + Chip + "/" + Config.Envs[Item.EnvIdx].name() + "/" +
+         apps::appName(Config.Apps[Item.AppIdx]);
+}
+
+uint64_t harness::workItemSeed(const CampaignConfig &Config,
+                               const CampaignWorkItem &Item) {
+  if (Item.ItemKind == CampaignWorkItem::Kind::Litmus)
+    return campaignLitmusSeed(Config.Seed, *Config.Chips[Item.ChipIdx],
+                              *Config.LitmusTests[Item.TestIdx]);
+  return campaignCellSeed(Config.Seed, *Config.Chips[Item.ChipIdx],
+                          Config.Envs[Item.EnvIdx],
+                          Config.Apps[Item.AppIdx]);
+}
+
+namespace {
+
+/// Parses a plain non-negative decimal index; false on anything else.
+bool parseIndex(const std::string &Text, size_t &Out) {
+  if (Text.empty() || Text.size() > 18)
+    return false;
+  size_t V = 0;
+  for (char C : Text) {
+    if (!std::isdigit(static_cast<unsigned char>(C)))
+      return false;
+    V = V * 10 + static_cast<size_t>(C - '0');
+  }
+  Out = V;
+  return true;
+}
+
+} // namespace
+
+std::optional<std::vector<size_t>>
+harness::parseCellSelection(const std::string &Spec, size_t NumCells,
+                            std::string &Err) {
+  const auto Malformed = [&](const std::string &Item) {
+    Err = "--cells expects comma-separated cell indices or A..B ranges "
+          "within 0.." +
+          std::to_string(NumCells == 0 ? 0 : NumCells - 1) + " (got '" +
+          Item + "')";
+    return std::nullopt;
+  };
+
+  std::vector<size_t> Out;
+  size_t Pos = 0;
+  while (Pos <= Spec.size()) {
+    const size_t Comma = std::min(Spec.find(',', Pos), Spec.size());
+    const std::string Item = Spec.substr(Pos, Comma - Pos);
+    Pos = Comma + 1;
+    if (Item.empty())
+      return Malformed(Item);
+    size_t Lo = 0, Hi = 0;
+    const size_t Dots = Item.find("..");
+    if (Dots == std::string::npos) {
+      if (!parseIndex(Item, Lo))
+        return Malformed(Item);
+      Hi = Lo;
+    } else {
+      if (!parseIndex(Item.substr(0, Dots), Lo) ||
+          !parseIndex(Item.substr(Dots + 2), Hi) || Hi < Lo)
+        return Malformed(Item);
+    }
+    if (Hi >= NumCells)
+      return Malformed(Item);
+    for (size_t I = Lo; I <= Hi; ++I)
+      Out.push_back(I);
+    if (Comma == Spec.size())
+      break;
+  }
+  std::sort(Out.begin(), Out.end());
+  Out.erase(std::unique(Out.begin(), Out.end()), Out.end());
+  return Out;
+}

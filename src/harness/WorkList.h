@@ -1,0 +1,75 @@
+//===- harness/WorkList.h - Campaign cell descriptors ----------*- C++ -*-===//
+//
+// Part of the gpuwmm project, a reproduction of "Exposing Errors Related to
+// Weak Memory in GPU Applications" (Sorensen & Donaldson, PLDI 2016).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The campaign fabric's unit of work (DESIGN.md Sec. 16): a flat,
+/// ordered list of cell descriptors over a CampaignConfig. App cells come
+/// first in chip-major (chip, env, app) selection order, then litmus
+/// cells in (chip, test) order — exactly the layout writeCampaignJson
+/// renders, so a merge that fills cells in work-list order reproduces the
+/// monolithic report byte for byte.
+///
+/// Each descriptor has a self-describing string key built from canonical
+/// names ("app/titan/sys-str+/cbe-dot", "litmus/k20/MP") — the identity
+/// shard records carry and merges dedupe by — and a canonical-identity
+/// seed (PR 2's scheme), which is what makes every cell independently
+/// replayable by any worker.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUWMM_HARNESS_WORKLIST_H
+#define GPUWMM_HARNESS_WORKLIST_H
+
+#include "harness/Campaign.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace gpuwmm {
+namespace harness {
+
+/// One schedulable unit of a campaign: an app cell or a litmus cell,
+/// referenced by its position in the config's selection vectors.
+struct CampaignWorkItem {
+  enum class Kind { App, Litmus };
+  Kind ItemKind = Kind::App;
+  size_t ChipIdx = 0;
+  size_t EnvIdx = 0;  ///< App cells only.
+  size_t AppIdx = 0;  ///< App cells only.
+  size_t TestIdx = 0; ///< Litmus cells only.
+};
+
+/// The flattened cell list of \p Config in report order: all app cells
+/// chip-major over the selection, then all litmus cells.
+std::vector<CampaignWorkItem> buildWorkList(const CampaignConfig &Config);
+
+/// The self-describing identity of \p Item under \p Config:
+/// "app/<chip>/<env>/<app>" or "litmus/<chip>/<test>".
+std::string workItemKey(const CampaignConfig &Config,
+                        const CampaignWorkItem &Item);
+
+/// The canonical-identity seed of \p Item (campaignCellSeed or
+/// campaignLitmusSeed), recorded per shard record so merges can detect
+/// seed-scheme drift.
+uint64_t workItemSeed(const CampaignConfig &Config,
+                      const CampaignWorkItem &Item);
+
+/// Parses a `--cells=` striping spec — comma-separated 0-based indices
+/// and inclusive "A..B" ranges into the work list ("0..11,30") — into a
+/// sorted, deduplicated index set. Malformed items (non-numeric, empty,
+/// inverted or out-of-range against \p NumCells) yield nullopt with a
+/// clear message in \p Err; callers exit 2, matching the getPositiveInt
+/// convention.
+std::optional<std::vector<size_t>>
+parseCellSelection(const std::string &Spec, size_t NumCells,
+                   std::string &Err);
+
+} // namespace harness
+} // namespace gpuwmm
+
+#endif // GPUWMM_HARNESS_WORKLIST_H

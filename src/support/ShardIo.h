@@ -1,0 +1,103 @@
+//===- support/ShardIo.h - Durable record I/O primitives -------*- C++ -*-===//
+//
+// Part of the gpuwmm project, a reproduction of "Exposing Errors Related to
+// Weak Memory in GPU Applications" (Sorensen & Donaldson, PLDI 2016).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The storage primitives the sharded campaign fabric is built on
+/// (DESIGN.md Sec. 16): CRC-framed append-only record logs with a
+/// per-record fsync, and atomic write-then-rename file publication.
+///
+/// Crash model: a worker can die (SIGKILL, OOM, power loss) at any
+/// instruction. Because every record is appended with one write() and
+/// fsync'd before the append returns, the only damage a crash can cause
+/// is a torn *tail* — a partial or corrupt final record — which readers
+/// detect via the per-record CRC and truncate. Everything before the tail
+/// is durable. Atomic writes (write temp, fsync, rename, fsync directory)
+/// guarantee a published file is either absent or complete, never partial.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUWMM_SUPPORT_SHARDIO_H
+#define GPUWMM_SUPPORT_SHARDIO_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gpuwmm {
+
+/// CRC-32 (the standard reflected 0xEDB88320 polynomial) of \p Data.
+uint32_t crc32(std::string_view Data);
+
+/// Frames one record payload as a log line: 8 lowercase hex digits of
+/// crc32(payload), a ':', the payload, '\n'. Payloads must not contain
+/// newlines (the fabric's payloads are single-line JSON objects).
+std::string frameRecord(std::string_view Payload);
+
+/// The result of scanning a record log: every complete, CRC-valid record
+/// in order, plus whether (and where) a torn tail was truncated.
+struct FramedRecords {
+  std::vector<std::string> Payloads;
+  /// True when trailing bytes after the last valid record were not a
+  /// complete, CRC-valid record — the signature of a crash mid-append.
+  bool TornTail = false;
+  /// Byte offset at which valid data ends (== text size when not torn).
+  size_t ValidBytes = 0;
+};
+
+/// Scans \p Text as a sequence of framed records. Stops at the first
+/// byte that does not begin a complete, CRC-valid record and reports the
+/// remainder as a torn tail; under the append-only + fsync-per-record
+/// discipline only the final record can ever be torn.
+FramedRecords parseFramedRecords(std::string_view Text);
+
+/// Reads all of \p Path into \p Out. False + \p Err on failure.
+bool readFile(const std::string &Path, std::string &Out, std::string *Err);
+
+/// Atomically publishes \p Contents at \p Path: writes "<Path>.tmp",
+/// fsyncs it, renames it over \p Path, and fsyncs the parent directory.
+/// A reader (or a crash) can only ever observe the old file, no file, or
+/// the complete new file. False + \p Err on failure.
+bool atomicWriteFile(const std::string &Path, std::string_view Contents,
+                     std::string *Err);
+
+/// An append-only log of CRC-framed records, fsync'd per append: once
+/// append() returns true the record survives any crash.
+class RecordLog {
+public:
+  RecordLog() = default;
+  ~RecordLog();
+  RecordLog(RecordLog &&O) noexcept;
+  RecordLog &operator=(RecordLog &&O) noexcept;
+  RecordLog(const RecordLog &) = delete;
+  RecordLog &operator=(const RecordLog &) = delete;
+
+  /// Creates \p Path exclusively (O_CREAT | O_EXCL): two workers racing
+  /// for the same name cannot both win, so claiming a log file doubles as
+  /// a lock-free shard-name allocator. Fsyncs the parent directory so the
+  /// name itself is durable. nullopt + \p Err on failure; \p Exists is
+  /// set when the failure was "already exists" (callers then try the
+  /// next candidate name).
+  static std::optional<RecordLog> createExclusive(const std::string &Path,
+                                                  std::string *Err,
+                                                  bool *Exists = nullptr);
+
+  /// Appends one framed record and fsyncs. False + \p Err on failure.
+  bool append(std::string_view Payload, std::string *Err);
+
+  const std::string &path() const { return LogPath; }
+  bool isOpen() const { return Fd >= 0; }
+
+private:
+  int Fd = -1;
+  std::string LogPath;
+};
+
+} // namespace gpuwmm
+
+#endif // GPUWMM_SUPPORT_SHARDIO_H

@@ -1,0 +1,113 @@
+# End-to-end crash/resume smoke for the sharded campaign fabric, run as a
+# CTest script (cli.campaign_resume / cli.campaign_resume_grid):
+#
+#   1. Run the campaign monolithically (--out) — the reference bytes.
+#   2. Run it sharded with GPUWMM_CAMPAIGN_CRASH_AFTER=N: the worker must
+#      SIGKILL itself after N durable appends (nonzero exit).
+#   3. `gpuwmm report` on the incomplete store must fail and say --resume.
+#   4. `campaign --resume` must finish only the missing cells.
+#   5. `gpuwmm report` must now reproduce the monolithic JSON byte for
+#      byte — across --jobs=1 and --jobs=4, and again for two workers
+#      striping disjoint --cells halves.
+#
+# Inputs: GPUWMM_BIN (the gpuwmm binary), WORK_DIR (scratch; wiped),
+# GRID (semicolon list of campaign flags), CRASH_AFTER (N), NUM_CELLS
+# (the grid's work-list size, for the --cells stripe bounds).
+
+if(NOT GPUWMM_BIN OR NOT WORK_DIR OR NOT GRID OR NOT CRASH_AFTER
+   OR NOT NUM_CELLS)
+  message(FATAL_ERROR "need -DGPUWMM_BIN, -DWORK_DIR, -DGRID, "
+                      "-DCRASH_AFTER, -DNUM_CELLS")
+endif()
+separate_arguments(GRID UNIX_COMMAND "${GRID}")
+
+file(REMOVE_RECURSE ${WORK_DIR})
+file(MAKE_DIRECTORY ${WORK_DIR})
+set(MONO ${WORK_DIR}/mono.json)
+
+function(run_expect_success what)
+  execute_process(COMMAND ${ARGN} RESULT_VARIABLE rv
+                  ERROR_VARIABLE err)
+  if(NOT rv EQUAL 0)
+    message(FATAL_ERROR "${what} failed (exit ${rv}):\n${err}")
+  endif()
+endfunction()
+
+# 1. The monolithic reference report.
+run_expect_success("monolithic campaign"
+  ${GPUWMM_BIN} campaign ${GRID} --out=${MONO})
+
+function(check_resume_cycle label outdir)
+  # 2. Crash mid-campaign: the hook SIGKILLs the worker, so the exit code
+  # must be nonzero (ctest sees 128+SIGKILL or the shell's 137).
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E env GPUWMM_CAMPAIGN_CRASH_AFTER=${CRASH_AFTER}
+            ${GPUWMM_BIN} campaign ${GRID} --out-dir=${outdir} ${ARGN}
+    RESULT_VARIABLE rv ERROR_VARIABLE err)
+  if(rv EQUAL 0)
+    message(FATAL_ERROR "${label}: crash hook did not fire:\n${err}")
+  endif()
+
+  # 3. Reporting the incomplete store must fail with the resume hint.
+  execute_process(COMMAND ${GPUWMM_BIN} report --dir=${outdir}
+                  RESULT_VARIABLE rv OUTPUT_QUIET ERROR_VARIABLE err)
+  if(rv EQUAL 0)
+    message(FATAL_ERROR "${label}: report accepted an incomplete store")
+  endif()
+  if(NOT err MATCHES "--resume")
+    message(FATAL_ERROR "${label}: incomplete-store error lacks the "
+                        "--resume hint:\n${err}")
+  endif()
+
+  # 4. Resume finishes the missing cells (the hook must be gone from the
+  # environment here, which it is: -E env scoped it to the crashed run).
+  run_expect_success("${label}: resume"
+    ${GPUWMM_BIN} campaign ${GRID} --out-dir=${outdir} --resume ${ARGN})
+
+  # 5. Merged report == monolithic report, byte for byte.
+  set(merged ${outdir}.json)
+  run_expect_success("${label}: report"
+    ${GPUWMM_BIN} report --dir=${outdir} --out=${merged})
+  execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files ${MONO} ${merged}
+                  RESULT_VARIABLE rv)
+  if(NOT rv EQUAL 0)
+    message(FATAL_ERROR "${label}: merged report differs from the "
+                        "monolithic report (${merged} vs ${MONO})")
+  endif()
+endfunction()
+
+check_resume_cycle("jobs=1" ${WORK_DIR}/resume-j1 --jobs=1)
+check_resume_cycle("jobs=4" ${WORK_DIR}/resume-j4 --jobs=4)
+
+# Two workers striping disjoint halves of the same store: worker A crashes
+# mid-stripe and is resumed; worker B completes its stripe normally. The
+# cell count is grid-dependent, so split at CRASH_AFTER + 1 — worker A's
+# stripe always holds more than CRASH_AFTER cells, so the hook fires.
+set(striped ${WORK_DIR}/striped)
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env GPUWMM_CAMPAIGN_CRASH_AFTER=${CRASH_AFTER}
+          ${GPUWMM_BIN} campaign ${GRID} --out-dir=${striped}
+          --cells=0..${CRASH_AFTER}
+  RESULT_VARIABLE rv ERROR_VARIABLE err)
+if(rv EQUAL 0)
+  message(FATAL_ERROR "striped: crash hook did not fire:\n${err}")
+endif()
+math(EXPR rest_from "${CRASH_AFTER} + 1")
+math(EXPR last_cell "${NUM_CELLS} - 1")
+run_expect_success("striped: worker B"
+  ${GPUWMM_BIN} campaign ${GRID} --out-dir=${striped}
+  --cells=${rest_from}..${last_cell})
+run_expect_success("striped: worker A resumes"
+  ${GPUWMM_BIN} campaign ${GRID} --out-dir=${striped}
+  --cells=0..${CRASH_AFTER} --resume)
+run_expect_success("striped: report"
+  ${GPUWMM_BIN} report --dir=${striped} --out=${striped}.json)
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files ${MONO}
+                ${striped}.json RESULT_VARIABLE rv)
+if(NOT rv EQUAL 0)
+  message(FATAL_ERROR "striped: merged report differs from the monolithic "
+                      "report")
+endif()
+
+message(STATUS "campaign resume smoke OK: crash -> resume -> byte-identical "
+               "report (jobs 1 and 4, plus a striped two-worker store)")

@@ -20,6 +20,8 @@
 #include "harden/FenceInsertion.h"
 #include "harness/Campaign.h"
 #include "harness/EnvironmentRunner.h"
+#include "harness/Merge.h"
+#include "harness/WorkList.h"
 #include "litmus/Format.h"
 #include "model/StreamingChecker.h"
 #include "support/Options.h"
@@ -30,6 +32,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -74,11 +77,22 @@ int usage() {
       "                                by the axiomatic oracle)\n"
       "  campaign [--chips=a,b] [--envs=x,y] [--apps=p,q] [--litmus=t,u]\n"
       "          [--runs] [--out] [--oracle=N|all]\n"
+      "          [--out-dir=DIR [--resume] [--cells=A..B,K]]\n"
       "                                the Tab. 5 grid; emits a JSON report;\n"
       "                                --oracle=N streams every Nth run\n"
       "                                through the axiomatic oracle\n"
       "                                (--oracle=all checks every run;\n"
-      "                                memory stays frontier-bounded)\n"
+      "                                memory stays frontier-bounded);\n"
+      "                                --out-dir shards one fsync'd record\n"
+      "                                per cell into DIR instead (survives\n"
+      "                                SIGKILL; several workers may stripe\n"
+      "                                the grid with disjoint --cells=),\n"
+      "                                --resume skips cells already durable\n"
+      "  report  --dir=DIR [--out]     merge a sharded campaign directory\n"
+      "                                into the schema-v2 JSON report,\n"
+      "                                byte-identical to a single-process\n"
+      "                                run (order-independent, duplicates\n"
+      "                                deduped, torn tails tolerated)\n"
       "\n"
       "common options: --seed=N; --jobs=N worker threads (results are\n"
       "identical for every N; default GPUWMM_JOBS or all cores);\n"
@@ -504,6 +518,115 @@ int cmdFuzz(const Options &Opts) {
   return 0;
 }
 
+/// `campaign --out-dir=DIR [--resume] [--cells=A..B,K]`: one fabric
+/// worker. Validates the striping spec against the grid's work list
+/// (exit 2 on malformed input, matching the getPositiveInt convention),
+/// runs the selected cells, and appends one fsync'd record each.
+int runShardedCampaign(const harness::CampaignConfig &Config,
+                       const Options &Opts) {
+  const std::string Dir = Opts.getString("out-dir", "");
+  if (Dir.empty()) {
+    std::fprintf(stderr, "error: --out-dir needs a directory path\n");
+    return 2;
+  }
+  const size_t NumCells = harness::buildWorkList(Config).size();
+  std::optional<std::vector<size_t>> Selection;
+  if (Opts.has("cells")) {
+    std::string Err;
+    Selection = harness::parseCellSelection(Opts.getString("cells", ""),
+                                            NumCells, Err);
+    if (!Selection) {
+      std::fprintf(stderr, "error: %s\n", Err.c_str());
+      return 2;
+    }
+  }
+
+  harness::FabricOptions FOpts;
+  FOpts.Dir = Dir;
+  FOpts.Resume = Opts.has("resume");
+  FOpts.Selection = Selection ? &*Selection : nullptr;
+  // Crash-injection test hook: SIGKILL this worker right after the Nth
+  // durable append. Invalid values warn and are ignored, like
+  // GPUWMM_JOBS.
+  if (const char *Env = std::getenv("GPUWMM_CAMPAIGN_CRASH_AFTER")) {
+    char *End = nullptr;
+    const long long N = std::strtoll(Env, &End, 10);
+    if (*Env && !*End && N > 0)
+      FOpts.CrashAfterAppends = static_cast<unsigned>(N);
+    else
+      std::fprintf(stderr,
+                   "warning: ignoring invalid "
+                   "GPUWMM_CAMPAIGN_CRASH_AFTER='%s'\n",
+                   Env);
+  }
+
+  ThreadPool Pool = makePool(Opts);
+  const auto Start = std::chrono::steady_clock::now();
+  harness::FabricOutcome Out;
+  std::string Err;
+  if (!harness::runCampaignFabric(Config, FOpts, &Pool, Out, &Err)) {
+    std::fprintf(stderr, "error: %s\n", Err.c_str());
+    return 2;
+  }
+  const double WallSeconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    Start)
+          .count();
+  for (const std::string &W : Out.Warnings)
+    std::fprintf(stderr, "warning: %s\n", W.c_str());
+  std::fprintf(stderr,
+               "campaign: %u/%zu cells completed (%u already durable) in "
+               "%.2f s (%u jobs)%s%s\n",
+               Out.Completed, NumCells, Out.Skipped, WallSeconds,
+               Pool.jobs(), Out.ShardPath.empty() ? "" : ", shard ",
+               Out.ShardPath.c_str());
+  std::fprintf(stderr, "merge with: gpuwmm report --dir=%s\n",
+               Dir.c_str());
+  return Out.OracleViolations ? 1 : 0;
+}
+
+/// `gpuwmm report --dir=DIR [--out=FILE]`: merge a sharded campaign into
+/// the schema-v2 JSON, byte-identical to the monolithic run. Exit 1 when
+/// cells are missing (finish with `campaign --resume`), 2 on malformed
+/// stores or usage.
+int cmdReport(const Options &Opts) {
+  if (!Opts.has("dir")) {
+    std::fprintf(stderr, "error: report needs --dir=DIR (a campaign "
+                         "directory written by campaign --out-dir)\n");
+    return 2;
+  }
+  const std::string Dir = Opts.getString("dir", "");
+  harness::CampaignReport Report;
+  harness::MergeStats Stats;
+  std::string Err;
+  const bool Ok = harness::mergeCampaignShards(Dir, Report, Stats, &Err);
+  for (const std::string &W : Stats.Warnings)
+    std::fprintf(stderr, "warning: %s\n", W.c_str());
+  if (!Ok) {
+    std::fprintf(stderr, "error: %s\n", Err.c_str());
+    // Incomplete-but-well-formed stores are resumable, not malformed.
+    return Stats.MissingCells.empty() ? 2 : 1;
+  }
+  std::fprintf(stderr,
+               "report: merged %zu cells from %u shard(s) in %s (%u "
+               "duplicate record(s) deduped, %u torn tail(s) truncated)\n",
+               Stats.CellsMerged, Stats.ShardFiles, Dir.c_str(),
+               Stats.Duplicates, Stats.TornShards);
+
+  const std::string Out = Opts.getString("out", "-");
+  if (Out == "-") {
+    harness::writeCampaignJson(Report, std::cout);
+  } else {
+    std::ofstream OS(Out);
+    if (!OS) {
+      std::fprintf(stderr, "error: cannot write '%s'\n", Out.c_str());
+      return 1;
+    }
+    harness::writeCampaignJson(Report, OS);
+  }
+  return 0;
+}
+
 int cmdCampaign(const Options &Opts) {
   harness::CampaignConfig Config = harness::CampaignConfig::full();
   if (Opts.has("chips")) {
@@ -565,6 +688,24 @@ int cmdCampaign(const Options &Opts) {
   else
     Config.OracleEvery = static_cast<unsigned>(
         Opts.has("oracle") ? Opts.getPositiveInt("oracle", 0, 1 << 20) : 0);
+
+  // --out-dir: run as a sharded fabric worker (one durable record per
+  // cell) instead of emitting a monolithic JSON; `gpuwmm report` merges.
+  const bool Sharded = Opts.has("out-dir");
+  if ((Opts.has("resume") || Opts.has("cells")) && !Sharded) {
+    std::fprintf(stderr, "error: --resume and --cells require "
+                         "--out-dir=DIR (the sharded campaign store)\n");
+    return 2;
+  }
+  if (Sharded && Opts.has("out")) {
+    std::fprintf(stderr,
+                 "error: choose --out=FILE (monolithic JSON) or "
+                 "--out-dir=DIR (sharded store), not both; merge shards "
+                 "with: gpuwmm report --dir=DIR\n");
+    return 2;
+  }
+  if (Sharded)
+    return runShardedCampaign(Config, Opts);
 
   ThreadPool Pool = makePool(Opts);
   const auto Start = std::chrono::steady_clock::now();
@@ -635,5 +776,7 @@ int main(int Argc, char **Argv) {
     return cmdFuzz(Opts);
   if (!std::strcmp(Cmd, "campaign"))
     return cmdCampaign(Opts);
+  if (!std::strcmp(Cmd, "report"))
+    return cmdReport(Opts);
   return usage();
 }
