@@ -6,6 +6,7 @@
 #include "sim/ThreadContext.h"
 #include "stress/Environment.h"
 
+#include <algorithm>
 #include <cassert>
 #include <functional>
 #include <sstream>
@@ -250,6 +251,112 @@ Outcome fuzz::runOnWeakMachine(const Program &P,
   return runOnWeakMachine(Ctx.get(), P, Chip, Seed, Stressed);
 }
 
+//===----------------------------------------------------------------------===//
+// Batched weak-machine execution
+//===----------------------------------------------------------------------===//
+
+CompiledProgram fuzz::compileProgram(const Program &P,
+                                     const sim::ChipProfile &Chip) {
+  CompiledProgram CP;
+  CP.NumVars = P.NumVars;
+  // Scalar parity: the logs are sized by ops per thread (a safe upper
+  // bound on loads), so the allocation layout matches runOnWeakMachine.
+  CP.MaxLoads = static_cast<unsigned>(
+      std::max(P.Thread[0].size(), P.Thread[1].size()));
+
+  const unsigned Patch = Chip.PatchSizeWords;
+  const auto AlignUp = [Patch](unsigned X) {
+    return (X + Patch - 1) / Patch * Patch;
+  };
+  CP.Vars = 0;
+  CP.Log0 = AlignUp(CP.NumVars * Patch);
+  CP.Log1 = AlignUp(CP.Log0 + CP.MaxLoads + 1);
+
+  sim::BatchProgram &BP = CP.BP;
+  BP.GridDim = 2;
+  BP.BlockDim = 1;
+  uint16_t NextSlot = 0;
+  for (unsigned T = 0; T != 2; ++T) {
+    using Code = sim::BatchOp::Code;
+    const auto Begin = static_cast<uint32_t>(BP.Ops.size());
+    BP.Ops.push_back({Code::Jitter, 0, 0, 8}); // yield(1 + rand(8)).
+    const sim::Addr Log = T == 0 ? CP.Log0 : CP.Log1;
+    unsigned LoadIdx = 0;
+    for (const Op &O : P.Thread[T]) {
+      const sim::Addr A = CP.Vars + O.Var * Patch;
+      switch (O.K) {
+      case Op::Kind::Store:
+        BP.Ops.push_back({Code::Store, 0, A, O.Value});
+        break;
+      case Op::Kind::Load:
+        // The interpreter logs each load right after it completes; the
+        // +1 bias distinguishes a logged 0 from "unset".
+        BP.Ops.push_back({Code::Load, NextSlot, A, 0});
+        BP.Ops.push_back({Code::WbStore, NextSlot, Log + LoadIdx++, 1});
+        ++NextSlot;
+        break;
+      case Op::Kind::AtomicAdd:
+        BP.Ops.push_back({Code::AtomicAdd, 0, A, O.Value});
+        break;
+      case Op::Kind::Fence:
+        BP.Ops.push_back({Code::FenceDevice, 0, 0, 0});
+        break;
+      }
+    }
+    CP.NumLoads[T] = LoadIdx;
+    BP.Lanes.push_back({Begin, static_cast<uint32_t>(BP.Ops.size())});
+  }
+  BP.NumSlots = std::max<unsigned>(NextSlot, 1);
+  return CP;
+}
+
+Outcome fuzz::runCompiledOnWeakMachine(sim::ExecutionContext &Ctx,
+                                       const CompiledProgram &CP,
+                                       const sim::ChipProfile &Chip,
+                                       uint64_t Seed, bool Stressed) {
+  // Draw-for-draw replica of runOnWeakMachine: same device seeding, same
+  // allocation order, same environment draws — only the kernel launch is
+  // replaced by the batched executor.
+  Rng R(Seed);
+  sim::Device Dev(Ctx, Chip, R.next());
+
+  const sim::Addr Vars = Dev.alloc(CP.NumVars * Chip.PatchSizeWords);
+  const sim::Addr Log0 = Dev.alloc(CP.MaxLoads + 1);
+  const sim::Addr Log1 = Dev.alloc(CP.MaxLoads + 1);
+  assert(Vars == CP.Vars && Log0 == CP.Log0 && Log1 == CP.Log1 &&
+         "allocation layout diverged from the compiled plan");
+  (void)Vars;
+  (void)Log0;
+  (void)Log1;
+
+  std::unique_ptr<sim::CongestionSource> Stress;
+  if (Stressed) {
+    Rng EnvRng = R.fork(1);
+    Stress = stress::applyEnvironment(
+        {stress::StressKind::Sys, true}, Dev,
+        stress::TunedStressParams::paperDefaults(Chip), EnvRng);
+  }
+
+  sim::BatchRunConfig Cfg;
+  Cfg.RandomiseThreads = Stressed; // applyEnvironment's sys-str+ setting.
+  sim::BatchScratch &BS = Ctx.batchScratch();
+  BS.RegSlab.assign(CP.BP.NumSlots, 0);
+  const sim::RunResult Result = sim::runBatchProgram(
+      CP.BP, Chip, Dev.memory(), Dev.rng(), BS, BS.RegSlab.data(), Cfg);
+  assert(Result.completed() && "fuzz execution must terminate");
+  (void)Result;
+
+  Outcome O;
+  for (unsigned T = 0; T != 2; ++T) {
+    const sim::Addr Log = T == 0 ? CP.Log0 : CP.Log1;
+    for (unsigned I = 0; I != CP.NumLoads[T]; ++I)
+      O.push_back(Dev.read(Log + I) - 1);
+  }
+  for (unsigned V = 0; V != CP.NumVars; ++V)
+    O.push_back(Dev.read(CP.Vars + V * Chip.PatchSizeWords));
+  return O;
+}
+
 FuzzResult fuzz::fuzzProgram(const Program &P,
                              const sim::ChipProfile &Chip, unsigned Runs,
                              uint64_t Seed, bool Stressed) {
@@ -260,9 +367,14 @@ FuzzResult fuzz::fuzzProgram(const Program &P,
   std::set<Outcome> WeakSeen, ScSeen;
   Rng Master(Seed);
   sim::ContextLease Ctx; // One recycled engine across all runs.
+  // Compile once, execute every run on the batched engine — bit-identical
+  // to the scalar interpreter at the same derived seeds (the property
+  // FuzzTests pins), at a fraction of the per-run cost.
+  const CompiledProgram CP = compileProgram(P, Chip);
   for (unsigned I = 0; I != Runs; ++I) {
     const Outcome O =
-        runOnWeakMachine(Ctx.get(), P, Chip, Master.fork(I).next(), Stressed);
+        runCompiledOnWeakMachine(Ctx.get(), CP, Chip, Master.fork(I).next(),
+                                 Stressed);
     if (Sc.count(O)) {
       ScSeen.insert(O);
       continue;

@@ -87,6 +87,30 @@ Outcome runOnWeakMachine(sim::ExecutionContext &Ctx, const Program &P,
 Outcome runOnWeakMachine(const Program &P, const sim::ChipProfile &Chip,
                          uint64_t Seed, bool Stressed);
 
+/// A fuzz program compiled for the batched executor (sim/BatchExec.h): the
+/// flat op stream with variable addresses, load-log writebacks and
+/// register slots pre-resolved, plus the baked allocation layout a freshly
+/// reset context reproduces (asserted per run). Compiled once per program;
+/// every run of a fuzz campaign reuses it.
+struct CompiledProgram {
+  sim::BatchProgram BP;
+  unsigned NumVars = 0;
+  unsigned MaxLoads = 0; ///< Per-thread log capacity (scalar parity).
+  unsigned NumLoads[2] = {0, 0};
+  sim::Addr Vars = 0, Log0 = 0, Log1 = 0; ///< Baked allocation layout.
+};
+
+/// Compiles \p P for \p Chip (addresses depend on the chip's patch size).
+CompiledProgram compileProgram(const Program &P, const sim::ChipProfile &Chip);
+
+/// Executes one run of a compiled program on the batched engine —
+/// bit-identical to runOnWeakMachine on the same (program, seed,
+/// stressed) triple, per the batched determinism contract.
+Outcome runCompiledOnWeakMachine(sim::ExecutionContext &Ctx,
+                                 const CompiledProgram &CP,
+                                 const sim::ChipProfile &Chip, uint64_t Seed,
+                                 bool Stressed);
+
 /// Result of fuzzing one program for \p Runs executions.
 struct FuzzResult {
   unsigned Runs = 0;
@@ -101,7 +125,8 @@ struct FuzzResult {
 };
 
 /// Runs \p P repeatedly on the weak machine and classifies outcomes
-/// against the exhaustive SC set.
+/// against the exhaustive SC set. Executes on the batched engine
+/// (compiled once, bit-identical to runOnWeakMachine per run).
 FuzzResult fuzzProgram(const Program &P, const sim::ChipProfile &Chip,
                        unsigned Runs, uint64_t Seed, bool Stressed);
 

@@ -288,26 +288,37 @@ harness::runCampaignLitmusCell(const CampaignConfig &Config,
     const auto Stress = litmus::LitmusRunner::MicroStress::at(
         Tuned.Seq, Region * Tuned.PatchWords);
     unsigned Weak = 0;
-    for (unsigned Run = 0; Run != Config.Runs; ++Run) {
+    for (unsigned Run = 0; Run != Config.Runs;) {
       // Checked runs stream through the incremental oracle: the
       // axioms must hold and the checker's SC-vs-weak classification
       // must agree with the operational outcome. The oracle observes
       // only, so the weak counts are identical with it on or off.
-      litmus::LitmusRunner::RunOpts Opts;
       const bool Check = Config.OracleEvery != 0 &&
                          Run % Config.OracleEvery == 0;
       if (Check) {
+        litmus::LitmusRunner::RunOpts Opts;
         Checker.begin();
         Opts.Sink = &Checker;
-      }
-      const bool Forbidden = Runner.runOnce(Test, Distance, Stress, Opts);
-      Weak += Forbidden;
-      if (Check) {
+        const bool Forbidden = Runner.runOnce(Test, Distance, Stress, Opts);
+        Weak += Forbidden;
         const model::StreamVerdict &R = Checker.finish();
         ++Cell.OracleChecked;
         if (!R.AxiomsOk || R.weak() != Forbidden)
           ++Cell.OracleViolations;
+        ++Run;
+        continue;
       }
+      // The unchecked stretch up to the next sampled run goes through the
+      // batched engine in one call. The runner's seed stream advances one
+      // fork per execution either way, so the per-run verdicts — and thus
+      // the cell's weak count — are bit-identical to the scalar loop.
+      const unsigned End =
+          Config.OracleEvery == 0
+              ? Config.Runs
+              : std::min(Config.Runs,
+                         (Run / Config.OracleEvery + 1) * Config.OracleEvery);
+      Weak += Runner.countWeak(Test, Distance, Stress, End - Run, {});
+      Run = End;
     }
     Cell.Weak = std::max(Cell.Weak, Weak);
   }

@@ -250,8 +250,224 @@ std::string LitmusRunner::addrName(sim::Addr A) const {
 unsigned LitmusRunner::countWeak(const Program &P, unsigned Distance,
                                  const MicroStress &S, unsigned C,
                                  const RunOpts &Opts) {
+  // Tracing and streaming sinks observe through the scalar engine's
+  // event seam, which the batched executor does not drive: such runs take
+  // the scalar path. Results and seed streams are identical either way,
+  // so callers may freely interleave traced and batched runs on one
+  // runner.
+  if (Opts.Trace || Opts.Sink) {
+    unsigned Weak = 0;
+    for (unsigned I = 0; I != C; ++I)
+      Weak += runOnce(P, Distance, S, Opts);
+    return Weak;
+  }
+  return countWeakBatch(P, Distance, S, C, Opts);
+}
+
+void LitmusRunner::rebuildBatchPlan(const Program &P, unsigned Distance,
+                                    bool Fenced) {
+  BatchPlan &B = Batched;
+  B.P = &P;
+  B.Distance = Distance;
+  B.Fenced = Fenced;
+  B.Delta = Distance == 0 ? 1 : Distance;
+  B.NumLocs = static_cast<unsigned>(P.Locations.size());
+  B.NumRegs = static_cast<unsigned>(P.Registers.size());
+
+  // Bake the address layout: a freshly reset context allocates with a
+  // deterministic patch-aligned bump from zero, in runOnce's order
+  // (locations, writebacks, then the stress scratchpad).
+  const unsigned Patch = Chip.PatchSizeWords;
+  const auto AlignUp = [Patch](unsigned X) {
+    return (X + Patch - 1) / Patch * Patch;
+  };
+  B.Base = 0;
+  B.Results = AlignUp((B.NumLocs - 1) * B.Delta + 1);
+  B.ScratchBase = AlignUp(B.Results + std::max(B.NumRegs, 1u));
+  B.InitWrites.clear();
+  for (unsigned L = 0; L != B.NumLocs; ++L)
+    if (P.Init[L] != 0)
+      B.InitWrites.emplace_back(B.Base + L * B.Delta, P.Init[L]);
+
+  // Compile the flat op stream: per program thread, the start-phase
+  // jitter, the ops with addresses and register slots pre-resolved (an
+  // OptFence is baked in or dropped by the plan's fencing), and the
+  // register writebacks in first-load order.
+  sim::BatchProgram &BP = B.BP;
+  BP.Ops.clear();
+  BP.GridDim = P.numBlocks();
+  BP.BlockDim = P.maxBlockThreads();
+  BP.NumSlots = std::max(B.NumRegs, 1u);
+  const unsigned NumThreads = static_cast<unsigned>(P.Threads.size());
+  std::vector<sim::BatchLane> ThreadRange(NumThreads);
+  for (unsigned TI = 0; TI != NumThreads; ++TI) {
+    const auto Begin = static_cast<uint32_t>(BP.Ops.size());
+    using Code = sim::BatchOp::Code;
+    assert(P.PhaseJitter > 0 && "phase jitter bound must be positive");
+    BP.Ops.push_back({Code::Jitter, 0, 0, P.PhaseJitter});
+    for (const ProgOp &O : P.Threads[TI].Ops) {
+      const sim::Addr A = B.Base + O.Loc * B.Delta;
+      const auto Slot = static_cast<uint16_t>(O.Reg);
+      switch (O.K) {
+      case ProgOp::Kind::Store:
+        BP.Ops.push_back({Code::Store, 0, A, O.Value});
+        break;
+      case ProgOp::Kind::Load:
+        BP.Ops.push_back({Code::Load, Slot, A, 0});
+        break;
+      case ProgOp::Kind::AsyncLoad:
+        BP.Ops.push_back({Code::AsyncLoad, Slot, A, 0});
+        break;
+      case ProgOp::Kind::AwaitLoad:
+        BP.Ops.push_back({Code::AwaitLoad, Slot, 0, 0});
+        break;
+      case ProgOp::Kind::AtomicAdd:
+        BP.Ops.push_back({Code::AtomicAdd, 0, A, O.Value});
+        break;
+      case ProgOp::Kind::Fence:
+        BP.Ops.push_back({Code::FenceDevice, 0, 0, 0});
+        break;
+      case ProgOp::Kind::OptFence:
+        if (Fenced)
+          BP.Ops.push_back({Code::FenceDevice, 0, 0, 0});
+        break;
+      }
+    }
+    for (const ProgOp &O : P.Threads[TI].Ops)
+      if (O.K == ProgOp::Kind::Load || O.K == ProgOp::Kind::AsyncLoad)
+        BP.Ops.push_back({Code::WbStore, static_cast<uint16_t>(O.Reg),
+                          B.Results + O.Reg, 0});
+    ThreadRange[TI] = {Begin, static_cast<uint32_t>(BP.Ops.size())};
+  }
+
+  // The lane table; unassigned lanes stay empty (idle filler threads).
+  BP.Lanes.assign(static_cast<size_t>(BP.GridDim) * BP.BlockDim, {});
+  std::vector<unsigned> NextLane(BP.GridDim, 0);
+  for (unsigned TI = 0; TI != NumThreads; ++TI) {
+    const unsigned Blk = P.Threads[TI].Block;
+    BP.Lanes[static_cast<size_t>(Blk) * BP.BlockDim + NextLane[Blk]++] =
+        ThreadRange[TI];
+  }
+}
+
+unsigned LitmusRunner::countWeakBatch(const Program &P, unsigned Distance,
+                                      const MicroStress &S, unsigned C,
+                                      const RunOpts &Opts,
+                                      std::vector<uint8_t> *PerRun) {
+  assert(!Opts.Trace && !Opts.Sink &&
+         "traced/streamed runs take the scalar path (countWeak)");
+  if (PerRun)
+    PerRun->clear();
+  if (C == 0)
+    return 0;
+  if (Batched.P != &P || Batched.Distance != Distance ||
+      Batched.Fenced != Opts.WithFences) {
+    assert(P.validate().empty() && "program must be well-formed");
+    rebuildBatchPlan(P, Distance, Opts.WithFences);
+  }
+  const BatchPlan &B = Batched;
+
+  sim::ExecutionContext &EC = Ctx.get();
+  // The batched path never records events; disarm any previously armed
+  // recorder/sink so reset() leaves the memory system untraced.
+  EC.requestTracing(false);
+  EC.requestStreaming(nullptr);
+  sim::MemorySystem &Mem = EC.memory();
+  sim::BatchScratch &BS = EC.batchScratch();
+
+  sim::BatchRunConfig Cfg;
+  Cfg.RandomiseThreads = Opts.Randomise;
+
+  // One stress source serves the whole call: its locations are fixed by
+  // the deterministic address layout, so only the per-run random
+  // population (the RunRng occupancy draw, kept in scalar order) varies.
+  std::unique_ptr<stress::SysStress> Stress;
+  unsigned ScratchWords = 0, MaxThreads = 0;
+  if (S.Enabled) {
+    assert(!S.ScratchOffsets.empty() && "stress without locations");
+    unsigned MaxOff = 0;
+    std::vector<sim::Addr> Locs;
+    Locs.reserve(S.ScratchOffsets.size());
+    for (unsigned Off : S.ScratchOffsets) {
+      MaxOff = std::max(MaxOff, Off);
+      Locs.push_back(B.ScratchBase + Off);
+    }
+    ScratchWords = MaxOff + Chip.PatchSizeWords;
+    MaxThreads = Chip.maxConcurrentThreads();
+    Stress = std::make_unique<stress::SysStress>(Chip, S.Seq,
+                                                 std::move(Locs), 0.0);
+  }
+
+  const unsigned NumSlots = B.BP.NumSlots;
+  const unsigned RegStride = std::max(B.NumRegs, 1u);
+  const unsigned MemStride = std::max(B.NumLocs, 1u);
+  const unsigned K = batchWidth();
   unsigned Weak = 0;
-  for (unsigned I = 0; I != C; ++I)
-    Weak += runOnce(P, Distance, S, Opts);
+  if (PerRun)
+    PerRun->reserve(C);
+
+  for (unsigned Done = 0; Done != C;) {
+    const unsigned N = std::min(K, C - Done);
+    // One SoA slab per batch; register slots need no per-run clearing
+    // beyond this (Program::validate guarantees every slot is written —
+    // by its load or async ticket — before any op reads it).
+    BS.RegSlab.assign(static_cast<size_t>(N) * NumSlots, 0);
+    BS.FinalRegSlab.resize(static_cast<size_t>(N) * RegStride);
+    BS.FinalMemSlab.resize(static_cast<size_t>(N) * MemStride);
+
+    for (unsigned J = 0; J != N; ++J, ++Done) {
+      // Per-run draw order is exactly runOnce's: fork the run stream,
+      // seed the context, then (when stressed) draw the occupancy.
+      Rng RunRng = Master.fork(Execs);
+      ++Execs;
+      EC.reset(Chip, RunRng.next());
+      Mem.setSequentialMode(Opts.Sequential);
+
+      const sim::Addr Base = Mem.alloc((B.NumLocs - 1) * B.Delta + 1);
+      const sim::Addr Results = Mem.alloc(std::max(B.NumRegs, 1u));
+      assert(Base == B.Base && Results == B.Results &&
+             "allocation layout diverged from the compiled plan");
+      (void)Base;
+      (void)Results;
+      for (const auto &[A, V] : B.InitWrites)
+        Mem.hostWrite(A, V);
+      if (S.Enabled) {
+        const sim::Addr Scratch = Mem.alloc(ScratchWords);
+        assert(Scratch == B.ScratchBase && "scratch layout diverged");
+        (void)Scratch;
+        const unsigned StressThreads = static_cast<unsigned>(
+            RunRng.realIn(S.OccupancyLo, S.OccupancyHi) *
+            static_cast<double>(MaxThreads));
+        Stress->setUnits(stress::threadUnits(Chip, StressThreads));
+        Mem.setCongestionSource(Stress.get());
+      }
+
+      Word *Regs = BS.RegSlab.data() + static_cast<size_t>(J) * NumSlots;
+      const sim::RunResult Result =
+          sim::runBatchProgram(B.BP, Chip, Mem, EC.rng(), BS, Regs, Cfg);
+      assert(Result.completed() && "litmus execution must terminate");
+      (void)Result;
+
+      Word *FR = BS.FinalRegSlab.data() + static_cast<size_t>(J) * RegStride;
+      Word *FM = BS.FinalMemSlab.data() + static_cast<size_t>(J) * MemStride;
+      for (unsigned R = 0; R != B.NumRegs; ++R)
+        FR[R] = Mem.hostRead(B.Results + R);
+      for (unsigned L = 0; L != B.NumLocs; ++L)
+        FM[L] = Mem.hostRead(B.Base + L * B.Delta);
+
+      // evalForbidden over the slab stripes (conjunction; empty = never).
+      bool IsWeak = !P.Forbidden.empty();
+      for (const CondAtom &A : P.Forbidden) {
+        const Word V = A.IsReg ? FR[A.Index] : FM[A.Index];
+        if ((V == A.Value) == A.Negated) {
+          IsWeak = false;
+          break;
+        }
+      }
+      Weak += IsWeak;
+      if (PerRun)
+        PerRun->push_back(IsWeak);
+    }
+  }
   return Weak;
 }

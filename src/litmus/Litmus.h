@@ -26,6 +26,7 @@
 #define GPUWMM_LITMUS_LITMUS_H
 
 #include "litmus/Program.h"
+#include "sim/BatchExec.h"
 #include "sim/ChipProfile.h"
 #include "sim/ExecutionContext.h"
 #include "stress/AccessSequence.h"
@@ -145,9 +146,38 @@ public:
                const RunOpts &Opts = RunOpts());
 
   /// Executes \p P \p C times; returns the number of weak behaviours.
+  ///
+  /// Runs batched (see \ref countWeakBatch) unless the options request
+  /// tracing or attach a streaming sink — those force the scalar
+  /// \ref runOnce path per run, since the batched executor does not emit
+  /// trace events. Either way, results, executions() accounting and the
+  /// runner's derived seed streams are bit-identical, so `litmus
+  /// --explain`, `--oracle=all` and `fuzz --shrink` outputs never change.
   unsigned countWeak(const Program &P, unsigned Distance,
                      const MicroStress &S, unsigned C,
                      const RunOpts &Opts = RunOpts());
+
+  /// Executes \p P \p C times on the batched engine (sim/BatchExec.h):
+  /// the program is compiled once into a flat op-stream plan, runs are
+  /// grouped into batches of K seeds over the context's SoA slabs, and
+  /// the per-run stress source is reused with only its intensity redrawn.
+  /// Bit-identical, run for run, to a \ref runOnce loop at the same seed
+  /// stream for every batch width (DESIGN.md Sec. 17). \p Opts must not
+  /// request tracing or a sink (asserted). When \p PerRun is non-null it
+  /// receives each run's weak verdict in execution order (0/1) — the A/B
+  /// hook for the identity bench and property tests.
+  unsigned countWeakBatch(const Program &P, unsigned Distance,
+                          const MicroStress &S, unsigned C,
+                          const RunOpts &Opts = RunOpts(),
+                          std::vector<uint8_t> *PerRun = nullptr);
+
+  /// Batch width K for the batched path; 0 (default) resolves to the
+  /// process-wide sim::defaultBatchWidth(). Width only sets the slab
+  /// amortisation window — it never affects results.
+  void setBatchWidth(unsigned K) { BatchWidth = K; }
+  unsigned batchWidth() const {
+    return BatchWidth != 0 ? BatchWidth : sim::defaultBatchWidth();
+  }
 
   /// Executes the catalog program of \p T.Kind once (bit-identical to the
   /// original hand-written kernels); true iff the weak behaviour was
@@ -191,13 +221,35 @@ private:
     std::vector<int> ThreadAt; ///< block * BlockDim + lane -> thread.
   };
 
+  /// The batched form of \ref Plan: the flat pre-resolved op stream plus
+  /// the address layout the per-run allocations are guaranteed to produce
+  /// (allocation on a freshly reset context is a deterministic
+  /// patch-aligned bump from zero, so addresses are bakeable at
+  /// plan-build time and asserted against the real allocs per run).
+  struct BatchPlan {
+    const Program *P = nullptr;
+    unsigned Distance = 0;
+    bool Fenced = false;
+    unsigned Delta = 1;
+    unsigned NumLocs = 0;
+    unsigned NumRegs = 0;
+    sim::Addr Base = 0;        ///< Location block (loc L at Base+L*Delta).
+    sim::Addr Results = 0;     ///< Register writeback block.
+    sim::Addr ScratchBase = 0; ///< Stress scratchpad (when stressed).
+    std::vector<std::pair<sim::Addr, sim::Word>> InitWrites;
+    sim::BatchProgram BP;
+  };
+
   void rebuildPlan(const Program &P, unsigned Distance);
+  void rebuildBatchPlan(const Program &P, unsigned Distance, bool Fenced);
 
   const sim::ChipProfile &Chip;
   Rng Master;
   sim::ContextLease Ctx; ///< Recycled engine state, reused every run.
   uint64_t Execs = 0;
   Plan Cached;
+  BatchPlan Batched;
+  unsigned BatchWidth = 0; ///< 0 = process default.
   // Per-run scratch, recycled across runs.
   std::vector<sim::Addr> LocAddr;
   std::vector<sim::Word> Regs, FinalRegs, FinalMem;

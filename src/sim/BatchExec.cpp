@@ -1,0 +1,343 @@
+//===- sim/BatchExec.cpp - Batched flat op-stream executor -------------------===//
+//
+// The run loop below is a line-for-line replica of Scheduler::launch and
+// Scheduler::run restricted to the op shapes batched programs use (no
+// barriers, no fence policies, no faults). Fidelity notes, keyed to the
+// scalar source:
+//
+//  * Residency: block B -> SM B % NumSMs (or a random SM per block, in
+//    block order, under randomisation); warps never straddle blocks; under
+//    randomisation every SM's warp list is shuffled in SM index order
+//    (empty lists draw nothing, so iterating only [0, NumSMs) is
+//    draw-identical to the scalar loop over a possibly larger scratch).
+//  * A resume executes exactly one op and sleeps — or, past the lane's
+//    last op, completes the lane (the coroutine's final resume). Both
+//    count toward the warp's issue.
+//  * An AwaitLoad whose ticket is pending parks the lane with its PC
+//    unadvanced; the wake loop binds the value and advances the PC, so the
+//    next resume executes the *following* op — mirroring the coroutine,
+//    where await_resume assigns the register and the body runs on to the
+//    next co_await within that same resume.
+//  * Idle fast-forward (deterministic mode only): when every live lane is
+//    sleeping and the memory system is quiescent, the scalar engine's
+//    intervening ticks draw nothing and have no effect beyond advancing
+//    the clock and each non-empty SM's rotor by one per tick. Jumping
+//    Now to (first wake tick - 1) and advancing the rotors by the span
+//    is therefore bit-identical, including the timeout tick.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/BatchExec.h"
+
+#include "sim/ChipProfile.h"
+#include "sim/MemorySystem.h"
+#include "support/Rng.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace gpuwmm;
+using namespace gpuwmm::sim;
+
+//===----------------------------------------------------------------------===//
+// Batch width resolution
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// CLI-installed width; 0 = auto (GPUWMM_BATCH, else 64). Written once
+/// before any workers start, read-only afterwards.
+unsigned CliBatchWidth = 0;
+
+unsigned resolveEnvBatchWidth() {
+  unsigned W = 64;
+  if (const char *Env = std::getenv("GPUWMM_BATCH")) {
+    char *End = nullptr;
+    const long Parsed = std::strtol(Env, &End, 10);
+    if (*Env != '\0' && *End == '\0' && Parsed > 0 && Parsed <= MaxBatchWidth)
+      return static_cast<unsigned>(Parsed);
+    // Mirror the --batch validation, but warn-and-fall-back rather than
+    // exit: an environment variable should not be fatal to library users.
+    std::fprintf(stderr,
+                 "warning: ignoring invalid GPUWMM_BATCH='%s' (must be a "
+                 "positive integer); using batch width %u\n",
+                 Env, W);
+  }
+  return W;
+}
+
+} // namespace
+
+unsigned sim::defaultBatchWidth() {
+  if (CliBatchWidth != 0)
+    return CliBatchWidth;
+  static const unsigned Resolved = resolveEnvBatchWidth();
+  return Resolved;
+}
+
+void sim::setDefaultBatchWidth(unsigned K) { CliBatchWidth = K; }
+
+//===----------------------------------------------------------------------===//
+// The executor
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+// Lane states; the scalar engine's Running is transient and AtBarrier
+// cannot occur in batched shapes.
+constexpr uint8_t LaneSleeping = 0;
+constexpr uint8_t LaneOnTicket = 1;
+constexpr uint8_t LaneDone = 2;
+
+} // namespace
+
+RunResult sim::runBatchProgram(const BatchProgram &BP,
+                               const ChipProfile &Chip, MemorySystem &Mem,
+                               Rng &R, BatchScratch &S, Word *Regs,
+                               const BatchRunConfig &Cfg) {
+  const unsigned NumThreads = BP.GridDim * BP.BlockDim;
+  assert(NumThreads != 0 && BP.Lanes.size() == NumThreads &&
+         "batch program has no lanes");
+  Mem.registerThreads(NumThreads);
+
+  // Lane state: everything starts Sleeping at wake tick 0 (eligible on
+  // tick 1), as freshly launched coroutines do.
+  S.State.assign(NumThreads, LaneSleeping);
+  S.WakeTick.assign(NumThreads, 0);
+  S.PC.resize(NumThreads);
+  for (unsigned T = 0; T != NumThreads; ++T)
+    S.PC[T] = BP.Lanes[T].Begin;
+  S.TicketWaiters.clear();
+
+  // Residency. Under deterministic scheduling the layout is a pure
+  // function of (grid, block, SMs) and launch draws nothing, so it is
+  // cached across runs; under randomisation it is redrawn per run in the
+  // scalar engine's exact draw order.
+  const unsigned NumSMs = Chip.NumSMs;
+  const bool HaveCached = !Cfg.RandomiseThreads && S.CachedGrid == BP.GridDim &&
+                          S.CachedBlock == BP.BlockDim && S.CachedSMs == NumSMs;
+  if (!HaveCached) {
+    if (S.SMWarps.size() < NumSMs)
+      S.SMWarps.resize(NumSMs);
+    for (std::vector<BatchScratch::Warp> &Ws : S.SMWarps)
+      Ws.clear();
+    S.BlockToSM.resize(BP.GridDim);
+    for (unsigned B = 0; B != BP.GridDim; ++B)
+      S.BlockToSM[B] = B % NumSMs;
+    if (Cfg.RandomiseThreads)
+      for (unsigned B = 0; B != BP.GridDim; ++B)
+        S.BlockToSM[B] = static_cast<unsigned>(R.below(NumSMs));
+    unsigned NumWarps = 0;
+    for (unsigned B = 0; B != BP.GridDim; ++B)
+      for (unsigned W = 0; W * WarpSize < BP.BlockDim; ++W)
+        S.SMWarps[S.BlockToSM[B]].push_back(
+            {B * BP.BlockDim + W * WarpSize,
+             std::min(WarpSize, BP.BlockDim - W * WarpSize), B, NumWarps++});
+    if (S.WarpLive.size() < NumWarps)
+      S.WarpLive.resize(NumWarps);
+    if (Cfg.RandomiseThreads)
+      for (unsigned SM = 0; SM != NumSMs; ++SM)
+        R.shuffle(S.SMWarps[SM]);
+    S.ActiveSMs.clear();
+    for (unsigned SM = 0; SM != NumSMs; ++SM)
+      if (!S.SMWarps[SM].empty())
+        S.ActiveSMs.push_back(SM);
+    if (Cfg.RandomiseThreads) {
+      S.invalidateResidency();
+    } else {
+      S.CachedGrid = BP.GridDim;
+      S.CachedBlock = BP.BlockDim;
+      S.CachedSMs = NumSMs;
+    }
+  }
+  // Rotors start at zero each launch. Only resident SMs' rotors are ever
+  // read, so zeroing just those is the full assign.
+  if (S.SMRotor.size() < NumSMs)
+    S.SMRotor.resize(NumSMs);
+  for (const unsigned SM : S.ActiveSMs)
+    S.SMRotor[SM] = 0;
+
+  // Fill each resident warp's live-lane list with all of its lanes.
+  for (const unsigned SM : S.ActiveSMs)
+    for (const BatchScratch::Warp &W : S.SMWarps[SM]) {
+      std::vector<uint32_t> &LL = S.WarpLive[W.LiveIdx];
+      LL.clear();
+      for (unsigned L = 0; L != W.NumThreads; ++L)
+        LL.push_back(W.FirstTid + L);
+    }
+
+  const BatchOp *const Ops = BP.Ops.data();
+  unsigned Live = NumThreads;
+  uint64_t Now = 0;
+  RunResult Result;
+
+  while (Live > 0) {
+    ++Now;
+    if (Now > Cfg.MaxTicks) {
+      Result.Status = RunStatus::Timeout;
+      break;
+    }
+
+    Mem.tick(Now);
+
+    // Wake async-load waiters whose tickets completed. The parked lane's
+    // PC still addresses its AwaitLoad op; binding the value and stepping
+    // the PC here makes the next resume run the following op, exactly as
+    // the coroutine resumes through its await.
+    for (size_t I = 0; I != S.TicketWaiters.size();) {
+      const unsigned Tid = S.TicketWaiters[I];
+      const BatchOp &O = Ops[S.PC[Tid]];
+      const unsigned Ticket = static_cast<unsigned>(Regs[O.Slot]);
+      if (S.State[Tid] == LaneOnTicket && Mem.asyncDone(Ticket)) {
+        Regs[O.Slot] = Mem.asyncValue(Ticket);
+        ++S.PC[Tid];
+        S.State[Tid] = LaneSleeping;
+        S.WakeTick[Tid] = Now;
+        S.TicketWaiters[I] = S.TicketWaiters.back();
+        S.TicketWaiters.pop_back();
+        continue;
+      }
+      ++I;
+    }
+
+    bool Issued = false;
+    // True once any op schedules a wake at Now + 1: the earliest possible
+    // wake is then next tick, so the idle fast-forward cannot jump and
+    // its scan is skipped without changing behaviour.
+    bool WakeNextTick = false;
+    for (const unsigned SM : S.ActiveSMs) {
+      std::vector<BatchScratch::Warp> &Ws = S.SMWarps[SM];
+      const unsigned NumWs = static_cast<unsigned>(Ws.size());
+      unsigned Budget = Cfg.IssueWidthPerSM;
+      unsigned Start = S.SMRotor[SM];
+      if (Cfg.RandomiseThreads)
+        Start = static_cast<unsigned>(R.below(NumWs));
+      for (unsigned K = 0; K != NumWs && Budget != 0; ++K) {
+        // (Start + K) mod NumWs without the divide: both are < NumWs.
+        const unsigned Idx =
+            Start + K < NumWs ? Start + K : Start + K - NumWs;
+        const BatchScratch::Warp &W = Ws[Idx];
+        // Warp-priority jitter under randomisation.
+        if (Cfg.RandomiseThreads && R.chance(0.15))
+          continue;
+        bool WarpIssued = false;
+        std::vector<uint32_t> &LL = S.WarpLive[W.LiveIdx];
+        const size_t NumLive = LL.size();
+        size_t Out = 0;
+        for (size_t I = 0; I != NumLive; ++I) {
+          const unsigned Tid = LL[I];
+          LL[Out++] = static_cast<uint32_t>(Tid);
+          if (S.State[Tid] != LaneSleeping || S.WakeTick[Tid] > Now)
+            continue;
+          WarpIssued = true;
+
+          // --- Resume: execute one op (or finish the lane). ---
+          uint32_t PC = S.PC[Tid];
+          if (PC == BP.Lanes[Tid].End) {
+            S.State[Tid] = LaneDone;
+            --Live;
+            --Out; // Drop the lane from the live list.
+            continue;
+          }
+          const BatchOp &O = Ops[PC];
+          switch (O.C) {
+          case BatchOp::Code::Jitter:
+            S.WakeTick[Tid] = Now + 1 + R.below(O.Imm);
+            break;
+          case BatchOp::Code::Store:
+            Mem.store(Tid, W.Block, O.A, O.Imm);
+            S.WakeTick[Tid] = Now + 1;
+            break;
+          case BatchOp::Code::Load:
+            Regs[O.Slot] = Mem.load(Tid, W.Block, O.A);
+            S.WakeTick[Tid] = Now + 1;
+            break;
+          case BatchOp::Code::AsyncLoad:
+            Regs[O.Slot] = Mem.issueAsyncLoad(Tid, O.A);
+            S.WakeTick[Tid] = Now + 1;
+            break;
+          case BatchOp::Code::AwaitLoad: {
+            const unsigned Ticket = static_cast<unsigned>(Regs[O.Slot]);
+            if (!Mem.asyncDone(Ticket)) {
+              // Park with the PC unadvanced; the wake loop completes it.
+              S.State[Tid] = LaneOnTicket;
+              S.TicketWaiters.push_back(Tid);
+              continue;
+            }
+            Regs[O.Slot] = Mem.asyncValue(Ticket);
+            S.WakeTick[Tid] = Now + 1;
+            break;
+          }
+          case BatchOp::Code::AtomicAdd:
+            (void)Mem.atomicAdd(Tid, O.A, O.Imm);
+            S.WakeTick[Tid] = Now + std::max(1u, Chip.AtomicLatency);
+            break;
+          case BatchOp::Code::FenceDevice:
+            S.WakeTick[Tid] = Now + std::max(1u, Mem.fenceDevice(Tid));
+            break;
+          case BatchOp::Code::WbStore:
+            Mem.store(Tid, W.Block, O.A, Regs[O.Slot] + O.Imm);
+            S.WakeTick[Tid] = Now + 1;
+            break;
+          }
+          WakeNextTick |= S.WakeTick[Tid] == Now + 1;
+          S.PC[Tid] = PC + 1;
+        }
+        if (Out != NumLive)
+          LL.resize(Out);
+        if (WarpIssued) {
+          --Budget;
+          Issued = true;
+        }
+      }
+      const unsigned Next = S.SMRotor[SM] + 1;
+      S.SMRotor[SM] = Next < NumWs ? Next : 0;
+    }
+
+    if (!Issued && Live > 0 && !Mem.hasPendingWork() &&
+        S.TicketWaiters.empty()) {
+      bool AnySleeping = false;
+      for (const unsigned SM : S.ActiveSMs)
+        for (const BatchScratch::Warp &W : S.SMWarps[SM])
+          for (const uint32_t Tid : S.WarpLive[W.LiveIdx])
+            AnySleeping |= S.State[Tid] == LaneSleeping;
+      if (!AnySleeping) {
+        // No barriers exist in batched shapes, so this is a plain
+        // deadlock (unreachable for well-formed programs).
+        Result.Status = RunStatus::Deadlock;
+        break;
+      }
+    }
+
+    // Idle fast-forward: with the memory system quiescent and every live
+    // lane sleeping, the ticks up to the first wake draw nothing and
+    // change nothing but the clock and the rotors. A wake already set for
+    // Now + 1 caps the jump target at the next tick, so the scan is
+    // skipped (the common case: most ops sleep exactly one tick).
+    if (!WakeNextTick && !Cfg.RandomiseThreads && Live > 0 &&
+        !Mem.hasPendingWork() && S.TicketWaiters.empty()) {
+      uint64_t MinWake = ~0ull;
+      for (const unsigned SM : S.ActiveSMs)
+        for (const BatchScratch::Warp &W : S.SMWarps[SM])
+          for (const uint32_t Tid : S.WarpLive[W.LiveIdx])
+            if (S.State[Tid] == LaneSleeping)
+              MinWake = std::min(MinWake, S.WakeTick[Tid]);
+      const uint64_t Target = std::min(MinWake, Cfg.MaxTicks + 1);
+      if (Target > Now + 1) {
+        const uint64_t D = Target - 1 - Now;
+        Now = Target - 1;
+        for (const unsigned SM : S.ActiveSMs)
+          S.SMRotor[SM] = static_cast<unsigned>(
+              (S.SMRotor[SM] + D) % S.SMWarps[SM].size());
+      }
+    }
+  }
+
+  // Kernel boundaries synchronise: everything becomes visible.
+  Mem.drainAll();
+  Result.Ticks = Now;
+  Result.Mem = Mem.stats();
+  return Result;
+}

@@ -1,0 +1,178 @@
+//===- sim/BatchExec.h - Batched flat op-stream executor --------*- C++ -*-===//
+//
+// Part of the gpuwmm project, a reproduction of "Exposing Errors Related to
+// Weak Memory in GPU Applications" (Sorensen & Donaldson, PLDI 2016).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The batched execution engine behind the litmus/fuzz hot path
+/// (DESIGN.md Sec. 17).
+///
+/// Every tuning sweep, campaign cell and fuzz round executes the same small
+/// program thousands of times at different seeds. The coroutine-based
+/// scheduler pays per run for work that is identical across those runs:
+/// coroutine frames, kernel std::function dispatch, launch-time residency
+/// construction, and a per-tick walk over every SM of the chip (most of
+/// them empty for a 2-4 block litmus grid).
+///
+/// This engine splits that cost: a \ref BatchProgram is a flat, branch-light
+/// op stream compiled once per (program, distance) — addresses, register
+/// slots and writeback targets pre-resolved — and \ref runBatchProgram is a
+/// tight table-walking replica of Scheduler::run that touches only resident
+/// SMs and fast-forwards idle tick spans. Per-run state lives in
+/// structure-of-arrays slabs owned by the ExecutionContext's
+/// \ref BatchScratch, so resets stay O(touched).
+///
+/// Determinism contract (absolute): for the op shapes a BatchProgram can
+/// express (start-phase jitter, loads, stores, atomics, device fences,
+/// split-phase load pairs, register writebacks — no barriers, no fence
+/// policies), runBatchProgram consumes exactly the same RNG draws in
+/// exactly the same order as the coroutine scheduler and produces
+/// bit-identical memory states, for every batch width and both scheduling
+/// modes. The idle fast-forward is draw-free by construction: a tick in
+/// which no lane is eligible, no store is buffered and no async load is
+/// pending draws nothing in the scalar engine either — it only advances
+/// the clock and the SM rotors, which the fast-forward replays in closed
+/// form. BatchedExecutionTests pins the equivalence per run against
+/// LitmusRunner::runOnce and fuzz::runOnWeakMachine.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUWMM_SIM_BATCHEXEC_H
+#define GPUWMM_SIM_BATCHEXEC_H
+
+#include "sim/Types.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace gpuwmm {
+
+class Rng;
+
+namespace sim {
+
+class MemorySystem;
+struct ChipProfile;
+
+/// One pre-resolved instruction of a batched program. 12 bytes, walked
+/// linearly per lane — the batched analogue of one co_await.
+struct BatchOp {
+  enum class Code : uint8_t {
+    Jitter,      ///< sleep(1 + rng.below(Imm)); start-phase jitter.
+    Store,       ///< Mem.store(A, Imm); sleep 1.
+    Load,        ///< Regs[Slot] = Mem.load(A); sleep 1.
+    AsyncLoad,   ///< Regs[Slot] = ticket of Mem.issueAsyncLoad(A); sleep 1.
+    AwaitLoad,   ///< Complete the async load ticketed in Regs[Slot].
+    AtomicAdd,   ///< Mem.atomicAdd(A, Imm); sleep AtomicLatency.
+    FenceDevice, ///< sleep(Mem.fenceDevice()).
+    WbStore      ///< Mem.store(A, Regs[Slot] + Imm); sleep 1 (writeback /
+                 ///< load log; Imm is the log bias).
+  };
+  Code C = Code::Jitter;
+  uint16_t Slot = 0; ///< Register slot (Load/AsyncLoad/AwaitLoad/WbStore).
+  Addr A = 0;        ///< Pre-resolved absolute address.
+  Word Imm = 0;      ///< Immediate: store value / jitter bound / log bias.
+};
+
+/// The op range [Begin, End) of one launched lane; Begin == End is an idle
+/// lane (a block's filler thread), which completes at its first resume.
+struct BatchLane {
+  uint32_t Begin = 0;
+  uint32_t End = 0;
+};
+
+/// A program compiled to the batched executor: one contiguous op stream
+/// plus a per-lane (Tid = block * BlockDim + lane) range table. Immutable
+/// once built; reused across every run of a batch.
+struct BatchProgram {
+  std::vector<BatchOp> Ops;
+  std::vector<BatchLane> Lanes; ///< Indexed by Tid; size GridDim*BlockDim.
+  unsigned GridDim = 0;
+  unsigned BlockDim = 0;
+  unsigned NumSlots = 0; ///< Register slots one run's Regs stripe needs.
+};
+
+/// Mirrors the SchedulerConfig fields the batched shapes use.
+struct BatchRunConfig {
+  bool RandomiseThreads = false; ///< Paper Sec. 3.5 scheduling noise.
+  unsigned IssueWidthPerSM = 2;
+  uint64_t MaxTicks = 400000;
+};
+
+/// Recyclable batched-executor state, owned by an ExecutionContext
+/// alongside the scheduler scratch. Lane state is structure-of-arrays and
+/// sized O(lanes); the slabs hold a whole batch's register/final-state
+/// stripes (K runs x stride) so per-run reset is a stripe write, not an
+/// allocation. Residency (warp placement per SM) is cached across runs of
+/// the same geometry under deterministic scheduling, where launch draws
+/// nothing and the layout is a pure function of (grid, block, SMs).
+struct BatchScratch {
+  struct Warp {
+    unsigned FirstTid = 0;
+    unsigned NumThreads = 0;
+    unsigned Block = 0;   ///< Owning block (warps never straddle blocks).
+    unsigned LiveIdx = 0; ///< This warp's WarpLive list.
+  };
+
+  // Per-lane execution state (SoA; capacity reused across runs).
+  std::vector<uint8_t> State;
+  std::vector<uint64_t> WakeTick;
+  std::vector<uint32_t> PC;
+  std::vector<unsigned> TicketWaiters;
+  /// Per-warp live-lane lists (Tids in lane order): completed lanes drop
+  /// out, so steady-state ticks scan only the program's real threads, not
+  /// a block's idle filler lanes. Removal preserves order, keeping the
+  /// resume sequence identical to the scalar engine's full-warp walk
+  /// (done lanes fail its eligibility test and resume nothing).
+  std::vector<std::vector<uint32_t>> WarpLive;
+
+  // Residency: warps resident per SM, the round-robin rotors, and the
+  // non-empty-SM index list the hot loop walks.
+  std::vector<std::vector<Warp>> SMWarps;
+  std::vector<unsigned> SMRotor;
+  std::vector<unsigned> ActiveSMs;
+  std::vector<unsigned> BlockToSM;
+  /// Cache key for the deterministic residency build (invalid under
+  /// randomised scheduling, which redraws placement per run).
+  unsigned CachedGrid = ~0u, CachedBlock = ~0u, CachedSMs = ~0u;
+
+  /// K-seed batch slabs: callers stripe them (run J's registers live at
+  /// RegSlab[J * stride]). FinalRegSlab/FinalMemSlab hold the batch's
+  /// final register writebacks and memory states for outcome evaluation.
+  std::vector<Word> RegSlab;
+  std::vector<Word> FinalRegSlab;
+  std::vector<Word> FinalMemSlab;
+
+  /// Drops the deterministic residency cache (tests / chip changes).
+  void invalidateResidency() { CachedGrid = CachedBlock = CachedSMs = ~0u; }
+};
+
+/// The process-wide batch width K used when a runner/config leaves its
+/// width at 0 ("auto"): the CLI's --batch=K, else the GPUWMM_BATCH
+/// environment variable (invalid values warn and fall back, mirroring
+/// GPUWMM_JOBS), else 64. Width never affects results — only how many
+/// runs share one slab/plan amortisation window.
+unsigned defaultBatchWidth();
+
+/// Installs the CLI-selected width (0 restores auto resolution).
+void setDefaultBatchWidth(unsigned K);
+
+/// Upper bound accepted for --batch / GPUWMM_BATCH.
+inline constexpr int64_t MaxBatchWidth = 1 << 16;
+
+/// Executes one run of \p BP to completion on \p Mem, drawing from \p R —
+/// a draw-for-draw replica of Scheduler::launch + Scheduler::run for the
+/// batched op shapes. \p Regs is the run's register stripe (NumSlots
+/// words). The caller owns per-run setup exactly as with the scalar
+/// engine: context reset, allocations, initial-value writes and the
+/// congestion source all happen before the call.
+RunResult runBatchProgram(const BatchProgram &BP, const ChipProfile &Chip,
+                          MemorySystem &Mem, Rng &R, BatchScratch &S,
+                          Word *Regs, const BatchRunConfig &Cfg);
+
+} // namespace sim
+} // namespace gpuwmm
+
+#endif // GPUWMM_SIM_BATCHEXEC_H

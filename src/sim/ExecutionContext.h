@@ -33,6 +33,7 @@
 #ifndef GPUWMM_SIM_EXECUTIONCONTEXT_H
 #define GPUWMM_SIM_EXECUTIONCONTEXT_H
 
+#include "sim/BatchExec.h"
 #include "sim/MemorySystem.h"
 #include "sim/Scheduler.h"
 #include "sim/TraceSink.h"
@@ -99,6 +100,10 @@ public:
   Rng &rng() { return R; }
   MemorySystem &memory() { return Memory; }
   Scheduler::Scratch &schedulerScratch() { return Scratch; }
+  /// The batched executor's recyclable lane/residency state and K-seed
+  /// SoA slabs (sim/BatchExec.h, DESIGN.md Sec. 17). Like the scheduler
+  /// scratch, contents are internal to the engine that fills them.
+  BatchScratch &batchScratch() { return BScratch; }
 
   /// Number of reset() calls served (reuse diagnostics; benches and tests
   /// use this to confirm recycling actually happens).
@@ -108,6 +113,7 @@ private:
   Rng R{0};
   MemorySystem Memory;
   Scheduler::Scratch Scratch;
+  BatchScratch BScratch;
   EventTrace Trace; ///< Recycled event recorder (attached when requested).
   TraceSink *StreamSink = nullptr; ///< External sink (streaming mode).
   bool TraceRequested = false;

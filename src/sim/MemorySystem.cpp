@@ -49,6 +49,12 @@ void MemorySystem::reset(const ChipProfile &NewChip) {
 
   PressureCache.resize(Chip->NumBanks);
   PressureCacheTick.assign(Chip->NumBanks, ~0ULL);
+
+  // With no congestion source, pressure is identically zero and the
+  // drain/async probabilities collapse to these chip constants (the same
+  // values the full formulas produce at zero pressure).
+  CalmDrainProb = std::max(Chip->DrainFloor, Chip->DrainBase);
+  CalmAsyncProb = std::max(Chip->AsyncFloor, Chip->AsyncBase);
 }
 
 void MemorySystem::registerThreads(unsigned NumThreads) {
@@ -499,12 +505,16 @@ double MemorySystem::effectiveWritePressure(uint64_t Now, unsigned Bank) {
 }
 
 double MemorySystem::drainProb(uint64_t Now, unsigned Bank) {
+  if (!Stress)
+    return CalmDrainProb; // Zero pressure: a chip constant (same value).
   const double Eff = effectiveWritePressure(Now, Bank);
   return std::max(Chip->DrainFloor,
                   Chip->DrainBase / (1.0 + Chip->DrainCongestK * Eff));
 }
 
 double MemorySystem::asyncProb(uint64_t Now, unsigned Bank) {
+  if (!Stress)
+    return CalmAsyncProb; // Zero pressure: a chip constant (same value).
   const BankPressure &P = pressure(Now, Bank);
   const double Raw = Chip->Sensitivity * (P.Read + 0.50 * P.Write);
   const double Eff = std::clamp(Raw - Chip->PressureThresh, 0.0,
@@ -513,11 +523,7 @@ double MemorySystem::asyncProb(uint64_t Now, unsigned Bank) {
                   Chip->AsyncBase / (1.0 + Chip->AsyncCongestK * Eff));
 }
 
-void MemorySystem::tick(uint64_t Now) {
-  CurrentTick = Now;
-  if (SeqMode)
-    return;
-
+void MemorySystem::tickWork(uint64_t Now) {
   // Async-load completion opportunities.
   if (PendingAsyncCount != 0) {
     for (AsyncLoadSlot &Slot : AsyncSlots) {
@@ -571,12 +577,29 @@ void MemorySystem::drainThread(unsigned Tid) {
 }
 
 void MemorySystem::drainAll() {
-  for (unsigned Tid = 0; Tid != Buffers.size(); ++Tid)
+  // Only a thread that buffered a store or has an in-flight async load
+  // can need draining; visiting exactly those threads in ascending thread
+  // order performs the same drains, in the same order, as a scan over
+  // every registered thread (drainThread interleaves a thread's queue
+  // drains with its async completions, so the per-thread visit order is
+  // the whole order).
+  DrainTids.clear();
+  for (const auto &[Tid, Bank] : TouchedQueues)
+    if (!Buffers[Tid].Banks[Bank].empty())
+      DrainTids.push_back(Tid);
+  if (PendingAsyncCount != 0)
+    for (const AsyncLoadSlot &Slot : AsyncSlots)
+      if (!Slot.Done)
+        DrainTids.push_back(Slot.Tid);
+  std::sort(DrainTids.begin(), DrainTids.end());
+  DrainTids.erase(std::unique(DrainTids.begin(), DrainTids.end()),
+                  DrainTids.end());
+  for (const unsigned Tid : DrainTids)
     drainThread(Tid);
   ActiveQueues.clear();
-  for (auto &TB : Buffers)
-    for (auto &Q : TB.Banks)
-      Q.Active = false;
+  // Only touched queues can be Active (store sets both flags together).
+  for (const auto &[Tid, Bank] : TouchedQueues)
+    Buffers[Tid].Banks[Bank].Active = false;
   assert(Overlay.empty() && "overlay must be empty after a full drain");
 }
 

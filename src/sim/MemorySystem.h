@@ -147,8 +147,13 @@ public:
 
   /// Advances asynchronous machinery by one tick: drain opportunities for
   /// every non-empty store FIFO and completion opportunities for pending
-  /// async loads.
-  void tick(uint64_t Now);
+  /// async loads. Quiescent ticks (nothing buffered, nothing in flight)
+  /// only advance the clock, so they stay inline and draw nothing.
+  void tick(uint64_t Now) {
+    CurrentTick = Now;
+    if (!SeqMode && (PendingAsyncCount != 0 || !ActiveQueues.empty()))
+      tickWork(Now);
+  }
 
   /// True while buffered stores or pending async loads exist.
   bool hasPendingWork() const {
@@ -289,6 +294,9 @@ private:
     Sink->event(E);
   }
 
+  /// The non-quiescent body of \ref tick.
+  void tickWork(uint64_t Now);
+
   double drainProb(uint64_t Now, unsigned Bank);
   double asyncProb(uint64_t Now, unsigned Bank);
   const BankPressure &pressure(uint64_t Now, unsigned Bank);
@@ -310,6 +318,7 @@ private:
   /// Every queue touched since the last reset — a superset of
   /// ActiveQueues (which tick() prunes lazily) used for O(touched) reset.
   std::vector<std::pair<unsigned, unsigned>> TouchedQueues;
+  std::vector<unsigned> DrainTids; ///< drainAll scratch (O(touched)).
 
   std::vector<AsyncLoadSlot> AsyncSlots;
   unsigned PendingAsyncCount = 0;
@@ -323,6 +332,12 @@ private:
   // Per-tick pressure cache.
   std::vector<BankPressure> PressureCache;
   std::vector<uint64_t> PressureCacheTick;
+
+  /// Drain/async probabilities with no congestion source attached: zero
+  /// pressure makes both pure chip constants, precomputed at reset so the
+  /// unstressed hot path skips the floating-point pipeline entirely.
+  double CalmDrainProb = 0.0;
+  double CalmAsyncProb = 0.0;
 
   MemStats Stats;
 };

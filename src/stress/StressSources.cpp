@@ -26,8 +26,12 @@ SysStress::SysStress(const sim::ChipProfile &Chip, AccessSequence Seq,
   Banks.reserve(Locations.size());
   for (sim::Addr A : Locations)
     Banks.push_back(Chip.bankOf(A));
-  const BankPressure Rate = Seq.trafficPerTick();
-  const double PerLoc = Units / static_cast<double>(Locations.size());
+  Rate = Seq.trafficPerTick();
+  setUnits(Units);
+}
+
+void SysStress::setUnits(double Units) {
+  const double PerLoc = Units / static_cast<double>(Banks.size());
   PerLocation.Write = Rate.Write * PerLoc;
   PerLocation.Read = Rate.Read * PerLoc;
   // Saturate: one location absorbs only PerLocationCap units of pressure;

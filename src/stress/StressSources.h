@@ -50,6 +50,13 @@ public:
   SysStress(const sim::ChipProfile &Chip, AccessSequence Seq,
             std::vector<sim::Addr> Locations, double Units);
 
+  /// Re-targets the source at a new total intensity, keeping its access
+  /// sequence and locations. Equivalent to constructing a fresh source
+  /// with the same sequence/locations and \p Units — the hook that lets
+  /// batched runners reuse one source across a batch while still drawing
+  /// the per-run random stressing population (LitmusRunner::countWeak).
+  void setUnits(double Units);
+
   sim::BankPressure pressureAt(uint64_t Tick, unsigned Bank) const override;
 
   const std::vector<unsigned> &stressedBanks() const { return Banks; }
@@ -57,6 +64,7 @@ public:
 private:
   const sim::ChipProfile &Chip;
   std::vector<unsigned> Banks;
+  sim::BankPressure Rate;        ///< Sequence traffic per tick per unit.
   sim::BankPressure PerLocation; ///< Pressure each stressed bank receives.
   /// Fraction of a stressed bank's pressure that spills onto its
   /// neighbouring banks (partial set conflicts).

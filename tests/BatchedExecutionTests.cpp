@@ -1,0 +1,283 @@
+//===- tests/BatchedExecutionTests.cpp - batched-vs-scalar identity ----------===//
+//
+// Part of the gpuwmm project, a reproduction of "Exposing Errors Related to
+// Weak Memory in GPU Applications" (Sorensen & Donaldson, PLDI 2016).
+//
+// The batched litmus engine's determinism contract (DESIGN.md Sec. 17):
+// LitmusRunner::countWeakBatch must be bit-identical, run for run, to a
+// scalar runOnce loop at the same derived seed streams — for every batch
+// width K, every option combination, fresh and reused contexts, and under
+// host-level parallelism. These property tests pin that contract over the
+// full built-in catalog and a population of random fuzz programs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/LitmusBridge.h"
+#include "fuzz/ProgramFuzzer.h"
+#include "litmus/Litmus.h"
+#include "support/ThreadPool.h"
+
+#include "gtest/gtest.h"
+
+#include <string>
+#include <vector>
+
+using namespace gpuwmm;
+using namespace gpuwmm::litmus;
+
+namespace {
+
+const sim::ChipProfile &titan() { return *sim::ChipProfile::lookup("titan"); }
+
+stress::AccessSequence tunedSeq() {
+  return stress::AccessSequence::parse("ld st2 ld");
+}
+
+LitmusRunner::MicroStress tunedStress() {
+  return LitmusRunner::MicroStress::at(tunedSeq(),
+                                       2 * titan().PatchSizeWords);
+}
+
+/// One named option combination for the identity sweep.
+struct OptCase {
+  const char *Name;
+  LitmusRunner::RunOpts Opts;
+  bool Stressed;
+};
+
+std::vector<OptCase> optCases() {
+  std::vector<OptCase> Cases;
+  LitmusRunner::RunOpts O;
+  Cases.push_back({"plain", O, false});
+  O = {};
+  O.WithFences = true;
+  Cases.push_back({"fenced", O, false});
+  O = {};
+  O.Sequential = true;
+  Cases.push_back({"sc", O, false});
+  O = {};
+  O.Randomise = true;
+  Cases.push_back({"randomise", O, false});
+  O = {};
+  Cases.push_back({"stressed", O, true});
+  O = {};
+  O.Randomise = true;
+  Cases.push_back({"stressed-randomise", O, true});
+  return Cases;
+}
+
+/// The scalar reference: a runOnce loop on a fresh runner, collecting the
+/// per-run weak verdicts.
+std::vector<uint8_t> scalarVerdicts(const Program &P, unsigned Distance,
+                                    const LitmusRunner::MicroStress &S,
+                                    unsigned Runs,
+                                    const LitmusRunner::RunOpts &Opts,
+                                    uint64_t Seed) {
+  LitmusRunner Runner(titan(), Seed);
+  std::vector<uint8_t> V;
+  V.reserve(Runs);
+  for (unsigned I = 0; I != Runs; ++I)
+    V.push_back(Runner.runOnce(P, Distance, S, Opts));
+  return V;
+}
+
+/// The batched run at width K on a fresh runner.
+std::vector<uint8_t> batchedVerdicts(const Program &P, unsigned Distance,
+                                     const LitmusRunner::MicroStress &S,
+                                     unsigned Runs,
+                                     const LitmusRunner::RunOpts &Opts,
+                                     uint64_t Seed, unsigned K) {
+  LitmusRunner Runner(titan(), Seed);
+  Runner.setBatchWidth(K);
+  std::vector<uint8_t> V;
+  const unsigned Weak = Runner.countWeakBatch(P, Distance, S, Runs, Opts, &V);
+  EXPECT_EQ(Weak, static_cast<unsigned>(
+                      std::count(V.begin(), V.end(), uint8_t(1))));
+  EXPECT_EQ(Runner.executions(), Runs);
+  return V;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Full-catalog identity, all option combinations
+//===----------------------------------------------------------------------===//
+
+class CatalogIdentity : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(CatalogIdentity, BatchedMatchesScalarBitForBit) {
+  const Program &P = catalog()[GetParam()];
+  const unsigned Distance = 128;
+  const unsigned Runs = 120;
+  for (const OptCase &C : optCases()) {
+    const auto S = C.Stressed ? tunedStress() : LitmusRunner::MicroStress::none();
+    const uint64_t Seed = 9000 + GetParam();
+    const auto Scalar = scalarVerdicts(P, Distance, S, Runs, C.Opts, Seed);
+    const auto Batched =
+        batchedVerdicts(P, Distance, S, Runs, C.Opts, Seed, 7);
+    EXPECT_EQ(Scalar, Batched) << P.Name << " under " << C.Name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FullCatalog, CatalogIdentity,
+    ::testing::Range(0u, static_cast<unsigned>(catalog().size())),
+    [](const ::testing::TestParamInfo<unsigned> &Info) {
+      std::string N = catalog()[Info.param].Name;
+      for (char &C : N)
+        if (!isalnum(static_cast<unsigned char>(C)))
+          C = '_';
+      return N;
+    });
+
+//===----------------------------------------------------------------------===//
+// Batch width is purely an amortisation window
+//===----------------------------------------------------------------------===//
+
+TEST(BatchWidth, ResultsIdenticalForEveryK) {
+  LitmusRunner::RunOpts Opts;
+  Opts.Randomise = true;
+  const auto S = tunedStress();
+  for (LitmusKind Kind : AllLitmusKinds) {
+    const Program &P = catalogProgram(Kind);
+    const auto Ref = scalarVerdicts(P, 128, S, 150, Opts, 42);
+    for (unsigned K : {1u, 2u, 7u, 64u})
+      EXPECT_EQ(Ref, batchedVerdicts(P, 128, S, 150, Opts, 42, K))
+          << litmusName(Kind) << " at K=" << K;
+  }
+}
+
+TEST(BatchWidth, ZeroResolvesToProcessDefault) {
+  LitmusRunner Runner(titan(), 1);
+  EXPECT_EQ(Runner.batchWidth(), sim::defaultBatchWidth());
+  Runner.setBatchWidth(5);
+  EXPECT_EQ(Runner.batchWidth(), 5u);
+  Runner.setBatchWidth(0);
+  EXPECT_EQ(Runner.batchWidth(), sim::defaultBatchWidth());
+}
+
+//===----------------------------------------------------------------------===//
+// Context reuse: plan switches and mixed scalar/batched streams
+//===----------------------------------------------------------------------===//
+
+TEST(ContextReuse, AlternatingInstancesMatchScalarSequence) {
+  // One runner alternating programs/distances batched must replay the
+  // exact verdict sequence of one scalar runner doing the same sequence:
+  // plan rebuilds and slab reuse never leak state between instances.
+  const Program &A = catalogProgram(LitmusKind::MP);
+  const Program &B = catalogProgram(LitmusKind::SB);
+  const auto S = tunedStress();
+  const LitmusRunner::RunOpts Opts;
+
+  LitmusRunner Scalar(titan(), 77);
+  std::vector<uint8_t> Ref;
+  for (unsigned Leg = 0; Leg != 4; ++Leg) {
+    const Program &P = Leg % 2 ? B : A;
+    const unsigned D = Leg % 2 ? 64 : 128;
+    for (unsigned I = 0; I != 40; ++I)
+      Ref.push_back(Scalar.runOnce(P, D, S, Opts));
+  }
+
+  LitmusRunner Batched(titan(), 77);
+  Batched.setBatchWidth(16);
+  std::vector<uint8_t> Got, Leg;
+  for (unsigned L = 0; L != 4; ++L) {
+    Batched.countWeakBatch(L % 2 ? B : A, L % 2 ? 64 : 128, S, 40, Opts,
+                           &Leg);
+    Got.insert(Got.end(), Leg.begin(), Leg.end());
+  }
+  EXPECT_EQ(Ref, Got);
+  EXPECT_EQ(Scalar.executions(), Batched.executions());
+}
+
+TEST(ContextReuse, TracedRunsInterleaveWithBatchedRuns) {
+  // Traced runs take the scalar path inside countWeak; the seed stream
+  // must stay continuous across the seam so `litmus --explain` replays
+  // are unaffected by batching around them.
+  const Program &P = catalogProgram(LitmusKind::MP);
+  const auto S = tunedStress();
+  LitmusRunner::RunOpts Plain, Traced;
+  Traced.Trace = true;
+
+  LitmusRunner Ref(titan(), 5);
+  std::vector<uint8_t> Want;
+  for (unsigned I = 0; I != 100; ++I)
+    Want.push_back(Ref.runOnce(P, 128, S, Plain));
+
+  LitmusRunner Mixed(titan(), 5);
+  std::vector<uint8_t> Got;
+  for (unsigned I = 0; I != 3; ++I)
+    Got.push_back(Mixed.countWeak(P, 128, S, 1, Traced) != 0);
+  std::vector<uint8_t> Tail;
+  Mixed.countWeakBatch(P, 128, S, 97, Plain, &Tail);
+  Got.insert(Got.end(), Tail.begin(), Tail.end());
+  EXPECT_EQ(Want, Got);
+  EXPECT_EQ(Mixed.executions(), 100u);
+}
+
+TEST(ContextReuse, CountWeakDelegatesToBatchedPath) {
+  // The public countWeak and the explicit batched call agree (they share
+  // one code path when no trace/sink is requested).
+  const Program &P = catalogProgram(LitmusKind::LB);
+  const auto S = tunedStress();
+  LitmusRunner A(titan(), 11), B(titan(), 11);
+  std::vector<uint8_t> PerRun;
+  EXPECT_EQ(A.countWeak(P, 128, S, 200),
+            B.countWeakBatch(P, 128, S, 200, {}, &PerRun));
+  EXPECT_EQ(PerRun.size(), 200u);
+}
+
+//===----------------------------------------------------------------------===//
+// Host-level parallelism: pool vs serial
+//===----------------------------------------------------------------------===//
+
+TEST(PoolDeterminism, BatchedRunnersAreBitIdenticalUnderThreadPool) {
+  // Each index runs a batched sweep on its own runner with a derived
+  // seed; a 4-job pool must reproduce the serial results exactly (the
+  // batched engine keeps all state in the per-thread leased context).
+  const auto S = tunedStress();
+  const auto RunIndex = [&](size_t I) {
+    const Program &P = catalog()[I % catalog().size()];
+    LitmusRunner Runner(titan(), 1234 + I);
+    Runner.setBatchWidth(I % 2 ? 3 : 64);
+    std::vector<uint8_t> V;
+    Runner.countWeakBatch(P, 96, S, 80, {}, &V);
+    return V;
+  };
+
+  constexpr size_t N = 12;
+  std::vector<std::vector<uint8_t>> Serial(N), Pooled(N);
+  for (size_t I = 0; I != N; ++I)
+    Serial[I] = RunIndex(I);
+  ThreadPool Pool(4);
+  Pool.parallelFor(N, [&](size_t I) { Pooled[I] = RunIndex(I); });
+  EXPECT_EQ(Serial, Pooled);
+}
+
+//===----------------------------------------------------------------------===//
+// Random-program population: fuzz cases through the batched litmus path
+//===----------------------------------------------------------------------===//
+
+TEST(FuzzPrograms, FiftyRandomProgramsMatchScalarBitForBit) {
+  // Fuzz-generated programs exercise op mixes (atomics, fences, repeated
+  // loads of one variable) the hand-written catalog does not.
+  Rng Gen(0xfeedu);
+  unsigned Checked = 0;
+  for (unsigned I = 0; I != 50; ++I) {
+    Rng R = Gen.fork(I);
+    const fuzz::Program FP = fuzz::Program::generate(R, 3, 5, I % 4 == 0);
+    const Program P =
+        fuzz::toLitmusProgram(FP, "fuzz" + std::to_string(I));
+    ASSERT_TRUE(P.validate().empty()) << P.validate();
+    LitmusRunner::RunOpts Opts;
+    Opts.Randomise = I % 2 == 0;
+    const auto S = I % 3 == 0 ? LitmusRunner::MicroStress::none()
+                              : tunedStress();
+    const auto Scalar = scalarVerdicts(P, 32, S, 30, Opts, 5000 + I);
+    const auto Batched =
+        batchedVerdicts(P, 32, S, 30, Opts, 5000 + I, 1 + I % 9);
+    ASSERT_EQ(Scalar, Batched) << FP.str();
+    ++Checked;
+  }
+  EXPECT_EQ(Checked, 50u);
+}

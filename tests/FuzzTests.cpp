@@ -181,3 +181,29 @@ TEST(FuzzWeaknessTest, MpWeakOutcomeIsObservableUnderStress) {
   EXPECT_GE(Result.DistinctWeak, 1u);
   EXPECT_EQ(Result.ScSetSize, 3u);
 }
+
+//===----------------------------------------------------------------------===//
+// Batched execution identity
+//===----------------------------------------------------------------------===//
+
+TEST(FuzzBatchedTest, CompiledRunsMatchInterpreterBitForBit) {
+  // The batched engine behind fuzzProgram must reproduce the coroutine
+  // interpreter's outcome exactly — same seed, same outcome vector — for
+  // random programs, native and stressed alike.
+  Rng R(7100);
+  sim::ContextLease Scalar, Batched;
+  for (int I = 0; I != 40; ++I) {
+    const Program P = Program::generate(R, 3, 5, /*WithFences=*/true);
+    const CompiledProgram CP = compileProgram(P, titan());
+    const bool Stressed = I % 2 == 0;
+    for (uint64_t Seed = 0; Seed != 5; ++Seed) {
+      const uint64_t RunSeed = 9000 + 100 * I + Seed;
+      EXPECT_EQ(runOnWeakMachine(Scalar.get(), P, titan(), RunSeed, Stressed),
+                runCompiledOnWeakMachine(Batched.get(), CP, titan(), RunSeed,
+                                         Stressed))
+          << "divergence at seed " << RunSeed << " (stressed=" << Stressed
+          << "):\n"
+          << P.str();
+    }
+  }
+}

@@ -203,6 +203,9 @@ TEST(ParallelDeterminismTest, PatchFinderScan) {
   Cfg.Executions = 3;
   const auto A = Serial.scan(Cfg);
   ThreadPool Pool(8);
+  // The parallel arm also uses a deliberately odd batch width: histograms
+  // must be invariant to both jobs and K.
+  Cfg.BatchWidth = 7;
   const auto B = Parallel.scan(Cfg, &Pool);
   EXPECT_EQ(A.Hist, B.Hist);
   EXPECT_EQ(Serial.executions(), Parallel.executions());
@@ -217,6 +220,7 @@ TEST(ParallelDeterminismTest, SequenceTunerRanking) {
   Cfg.Executions = 2;
   const auto A = Serial.rankAll(64, Cfg);
   ThreadPool Pool(8);
+  Cfg.BatchWidth = 3; // Rankings are invariant to jobs and batch width.
   const auto B = Parallel.rankAll(64, Cfg, &Pool);
   ASSERT_EQ(A.size(), B.size());
   for (size_t I = 0; I != A.size(); ++I) {
@@ -235,6 +239,7 @@ TEST(ParallelDeterminismTest, SpreadTunerRanking) {
   const auto Seq = stress::AccessSequence::parse("st ld");
   const auto A = Serial.rankAll(32, Seq, Cfg);
   ThreadPool Pool(8);
+  Cfg.BatchWidth = 5; // Rankings are invariant to jobs and batch width.
   const auto B = Parallel.rankAll(32, Seq, Cfg, &Pool);
   ASSERT_EQ(A.size(), B.size());
   for (size_t I = 0; I != A.size(); ++I) {

@@ -24,6 +24,7 @@
 #include "harness/WorkList.h"
 #include "litmus/Format.h"
 #include "model/StreamingChecker.h"
+#include "sim/BatchExec.h"
 #include "support/Options.h"
 #include "support/Suggest.h"
 #include "support/Table.h"
@@ -96,6 +97,8 @@ int usage() {
       "\n"
       "common options: --seed=N; --jobs=N worker threads (results are\n"
       "identical for every N; default GPUWMM_JOBS or all cores);\n"
+      "--batch=K seeds per batch in the batched litmus engine (results\n"
+      "are identical for every K; default GPUWMM_BATCH or 64);\n"
       "GPUWMM_SCALE scales run counts globally\n");
   return 2;
 }
@@ -759,6 +762,12 @@ int main(int Argc, char **Argv) {
   // --jobs is a common option: validate it for every command (exits with
   // a clear error on 0, negative, non-numeric or absurdly large values).
   (void)Opts.getPositiveInt("jobs", 0, MaxJobs);
+  // --batch is equally common: the batched engine's seeds-per-batch width
+  // (amortisation only — results are identical for every width). 0 keeps
+  // the auto resolution (GPUWMM_BATCH, else 64).
+  if (const int64_t Batch =
+          Opts.getPositiveInt("batch", 0, sim::MaxBatchWidth))
+    sim::setDefaultBatchWidth(static_cast<unsigned>(Batch));
   if (!std::strcmp(Cmd, "chips"))
     return cmdChips();
   if (!std::strcmp(Cmd, "litmus")) {
