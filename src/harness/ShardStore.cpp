@@ -157,7 +157,10 @@ std::string harness::campaignManifestJson(const CampaignConfig &Config) {
     S += "\": [";
     for (size_t I = 0; I != Names.size(); ++I) {
       S += I ? ", " : "";
-      S += "\"" + jsonEscape(Names[I]) + "\"";
+      // Built without operator+ to dodge GCC 12's -Wrestrict false positive.
+      S += "\"";
+      S += jsonEscape(Names[I]);
+      S += "\"";
     }
     S += "],\n";
   };

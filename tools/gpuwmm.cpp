@@ -22,6 +22,7 @@
 #include "harness/EnvironmentRunner.h"
 #include "harness/Merge.h"
 #include "harness/WorkList.h"
+#include "hunt/Hunt.h"
 #include "litmus/Format.h"
 #include "model/StreamingChecker.h"
 #include "sim/BatchExec.h"
@@ -76,6 +77,20 @@ int usage() {
       "                                minimal program that still provokes\n"
       "                                the same forbidden outcome (re-checked\n"
       "                                by the axiomatic oracle)\n"
+      "  hunt    --chip [--rounds] [--programs] [--runs] [--distance]\n"
+      "          [--shrink-runs] [--harden-runs] [--stable-runs]\n"
+      "          [--verify-runs] [--corpus-dir=DIR [--resume]] [--out]\n"
+      "                                closed-loop bug mining: fuzz random\n"
+      "                                programs in batches, shrink each weak\n"
+      "                                case (every acceptance cross-checked\n"
+      "                                by both consistency checkers), dedupe\n"
+      "                                by canonical form into a crash-safe\n"
+      "                                corpus, harden survivors (Alg. 1) and\n"
+      "                                verify the hardened tests SC under\n"
+      "                                the streaming oracle; emits a JSON\n"
+      "                                report and one replayable .litmus\n"
+      "                                per corpus entry; --resume extends\n"
+      "                                an existing corpus to --rounds\n"
       "  campaign [--chips=a,b] [--envs=x,y] [--apps=p,q] [--litmus=t,u]\n"
       "          [--runs] [--out] [--oracle=N|all]\n"
       "          [--out-dir=DIR [--resume] [--cells=A..B,K]]\n"
@@ -442,6 +457,16 @@ int cmdFuzz(const Options &Opts) {
       SOpts.Seed = static_cast<uint64_t>(Opts.getInt("seed", 1));
       const fuzz::ShrinkResult R =
           fuzz::shrinkWeakProgram(*L, *Chip, SOpts);
+      // A streaming/post-hoc verdict disagreement on any consulted run is
+      // a hard failure: the reduction was driven by a diverging oracle
+      // and its output must not be trusted (or committed to a corpus).
+      if (!R.OracleError.empty()) {
+        std::fprintf(stderr,
+                     "error: consistency checkers disagreed during "
+                     "shrink (reduction aborted): %s\n",
+                     R.OracleError.c_str());
+        return 1;
+      }
       if (!R.Reproduced) {
         std::fprintf(stderr,
                      "error: '%s' did not provoke its forbidden outcome "
@@ -452,6 +477,9 @@ int cmdFuzz(const Options &Opts) {
       std::printf("shrunk: %u -> %u instructions (%u candidates tried, "
                   "%u reductions kept the weak outcome)\n",
                   R.OriginalOps, R.ReducedOps, R.Candidates, R.Accepted);
+      std::printf("oracle: %llu streaming/post-hoc cross-checks, all "
+                  "agreed\n",
+                  static_cast<unsigned long long>(R.CrossChecks));
       const std::string Text = litmus::printLitmus(R.Reduced);
       if (Opts.has("out")) {
         const std::string OutPath = Opts.getString("out", "");
@@ -519,6 +547,105 @@ int cmdFuzz(const Options &Opts) {
   std::printf("%u/%u programs exhibited weak outcomes under sys-str+\n",
               WeakProgs, Cfg.Programs);
   return 0;
+}
+
+/// `gpuwmm hunt`: the closed-loop bug-mining pipeline (hunt/Hunt.h) —
+/// fuzz, shrink, dedupe, harden, verify, with an optional crash-safe
+/// on-disk corpus. Exit 1 when the hardened corpus is not oracle-clean or
+/// the pipeline hard-failed (checker disagreement, corpus I/O); exit 2 on
+/// usage errors.
+int cmdHunt(const Options &Opts) {
+  const sim::ChipProfile *Chip = chipOrDie(Opts);
+  hunt::HuntConfig Cfg;
+  Cfg.Chip = Chip;
+  Cfg.Rounds = static_cast<unsigned>(Opts.getInt("rounds", 4));
+  Cfg.Fuzz.Programs =
+      static_cast<unsigned>(Opts.getInt("programs", scaledCount(20)));
+  Cfg.Fuzz.RunsPerProgram =
+      static_cast<unsigned>(Opts.getInt("runs", scaledCount(40)));
+  Cfg.Distance = static_cast<unsigned>(
+      Opts.getInt("distance", 2 * Chip->PatchSizeWords));
+  Cfg.ShrinkRuns =
+      static_cast<unsigned>(Opts.getInt("shrink-runs", scaledCount(200)));
+  Cfg.HardenRuns = static_cast<unsigned>(Opts.getInt("harden-runs", 32));
+  Cfg.StableRuns =
+      static_cast<unsigned>(Opts.getInt("stable-runs", scaledCount(300)));
+  Cfg.VerifyRuns =
+      static_cast<unsigned>(Opts.getInt("verify-runs", scaledCount(200)));
+  Cfg.Seed = static_cast<uint64_t>(Opts.getInt("seed", 1));
+  Cfg.CorpusDir = Opts.getString("corpus-dir", "");
+  Cfg.Resume = Opts.has("resume");
+  if (Cfg.Resume && Cfg.CorpusDir.empty()) {
+    std::fprintf(stderr, "error: --resume requires --corpus-dir=DIR (the "
+                         "corpus to extend)\n");
+    return 2;
+  }
+  // Crash-injection test hook, as the campaign fabric's: SIGKILL this
+  // process right after the Nth durable corpus append.
+  if (const char *Env = std::getenv("GPUWMM_HUNT_CRASH_AFTER")) {
+    char *End = nullptr;
+    const long long N = std::strtoll(Env, &End, 10);
+    if (*Env && !*End && N > 0)
+      Cfg.CrashAfterAppends = static_cast<unsigned>(N);
+    else
+      std::fprintf(stderr,
+                   "warning: ignoring invalid GPUWMM_HUNT_CRASH_AFTER="
+                   "'%s'\n",
+                   Env);
+  }
+
+  ThreadPool Pool = makePool(Opts);
+  const auto Start = std::chrono::steady_clock::now();
+  hunt::HuntReport Report;
+  std::string Err;
+  if (!hunt::runHunt(Cfg, &Pool, Report, &Err)) {
+    std::fprintf(stderr, "error: %s\n", Err.c_str());
+    return 1;
+  }
+  const double WallSeconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    Start)
+          .count();
+  for (const std::string &W : Report.Warnings)
+    std::fprintf(stderr, "warning: %s\n", W.c_str());
+
+  // Wall time goes to stderr only: the JSON report is byte-identical
+  // across machines, --jobs and --batch values for one config.
+  std::fprintf(stderr,
+               "hunt: %u round(s) [%u..%u): %llu programs fuzzed, %llu "
+               "weak, %llu shrunk into %llu new entr%s (%llu duplicate(s), "
+               "%llu not reproduced) in %.2f s (%u jobs)\n",
+               Report.RoundsRun, Report.StartRound,
+               Report.StartRound + Report.RoundsRun,
+               static_cast<unsigned long long>(Report.ProgramsFuzzed),
+               static_cast<unsigned long long>(Report.WeakPrograms),
+               static_cast<unsigned long long>(Report.ShrinkAccepted),
+               static_cast<unsigned long long>(Report.NewEntries),
+               Report.NewEntries == 1 ? "y" : "ies",
+               static_cast<unsigned long long>(Report.Duplicates),
+               static_cast<unsigned long long>(Report.NotReproduced),
+               WallSeconds, Pool.jobs());
+  std::fprintf(stderr,
+               "hunt oracle: corpus of %zu, %llu hardened runs checked, "
+               "%llu weak, %llu axiom cross-checks during shrink — %s\n",
+               Report.Entries.size(),
+               static_cast<unsigned long long>(Report.OracleChecked),
+               static_cast<unsigned long long>(Report.OracleWeak),
+               static_cast<unsigned long long>(Report.CrossChecks),
+               Report.clean() ? "clean" : "NOT CLEAN");
+
+  const std::string Out = Opts.getString("out", "-");
+  if (Out == "-") {
+    hunt::writeHuntJson(Report, std::cout);
+  } else {
+    std::ofstream OS(Out);
+    if (!OS) {
+      std::fprintf(stderr, "error: cannot write '%s'\n", Out.c_str());
+      return 1;
+    }
+    hunt::writeHuntJson(Report, OS);
+  }
+  return Report.clean() ? 0 : 1;
 }
 
 /// `campaign --out-dir=DIR [--resume] [--cells=A..B,K]`: one fabric
@@ -783,6 +910,8 @@ int main(int Argc, char **Argv) {
     return cmdHarden(Opts);
   if (!std::strcmp(Cmd, "fuzz"))
     return cmdFuzz(Opts);
+  if (!std::strcmp(Cmd, "hunt"))
+    return cmdHunt(Opts);
   if (!std::strcmp(Cmd, "campaign"))
     return cmdCampaign(Opts);
   if (!std::strcmp(Cmd, "report"))
