@@ -1,0 +1,81 @@
+//===- apps/AppCompile.h - App kernels on the batched engine ----*- C++ -*-===//
+//
+// Part of the gpuwmm project, a reproduction of "Exposing Errors Related to
+// Weak Memory in GPU Applications" (Sorensen & Donaldson, PLDI 2016).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowering of the Tab. 4 application kernels to the batched flat
+/// op-stream engine (DESIGN.md Sec. 19).
+///
+/// The regular kernels — sdk-red(-nf), cub-scan(-nf), cbe-dot, cbe-ht —
+/// compile once per (app, chip shape, fence policy) into a BatchProgram:
+/// compile-time loops unrolled, lane roles (leader vs. worker) split into
+/// per-lane op ranges, data-dependent loops (lock spins, lookback polls)
+/// expressed with register branches, barriers as the engine's Barrier op,
+/// and both built-in and policy fences baked into the stream at their
+/// arming sites. Addresses are baked by replaying the context's
+/// deterministic patch-aligned bump allocator; every run asserts the
+/// replayed layout against the live one.
+///
+/// runApplicationBatch then executes N seeds of one cell on a single
+/// context, reusing the plan and the context's BatchScratch SoA slabs.
+/// Per-run verdicts are bit-identical to apps::runApplicationOnce —
+/// draw-for-draw, tick-for-tick — for every batch width and any context
+/// history. Apps with irregular control (ct-octree, tpo-tm, ls-bh(-nf))
+/// report !appLowerable and fall back to the coroutine path, as do traced
+/// or sink-attached contexts and --engine=scalar.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUWMM_APPS_APPCOMPILE_H
+#define GPUWMM_APPS_APPCOMPILE_H
+
+#include "apps/Application.h"
+#include "sim/BatchExec.h"
+
+namespace gpuwmm {
+namespace apps {
+
+/// True iff compileApplication can lower \p K to the batched engine.
+bool appLowerable(AppKind K);
+
+/// A compiled application kernel: the op stream plus the allocation
+/// layout the plan's baked addresses assume. Immutable once built.
+struct AppPlan {
+  sim::BatchProgram BP;
+  uint64_t MaxTicks = 0; ///< The app's per-launch tick budget.
+  /// allocatedWords() right after Application::setup — the replayed bump
+  /// allocator's high-water mark, asserted against every live run.
+  unsigned SetupAllocWords = 0;
+};
+
+/// Compiles \p K for \p Chip under inserted-fence policy \p Policy
+/// (null = none). Cached per (app, chip shape, policy mask); the returned
+/// reference stays valid for the thread's lifetime. \p K must be
+/// appLowerable.
+const AppPlan &compileApplication(AppKind K, const sim::ChipProfile &Chip,
+                                  const sim::FencePolicy *Policy);
+
+/// Executes \p N application runs (seeds \p Seeds[0..N)) of one
+/// (app, chip, environment) cell on \p Ctx, writing per-run verdicts to
+/// \p Verdicts. Verdicts are bit-identical to calling runApplicationOnce
+/// per seed, for every batch width \p BatchWidth (0 = the process-wide
+/// default) and any context history.
+///
+/// Dispatch: runs execute on the batched engine when the app lowers, the
+/// engine mode allows it and \p Ctx has no tracing/streaming request;
+/// otherwise each run takes the scalar coroutine path unchanged.
+void runApplicationBatch(sim::ExecutionContext &Ctx, AppKind K,
+                         const sim::ChipProfile &Chip,
+                         const stress::Environment &Env,
+                         const stress::TunedStressParams &Tuned,
+                         const sim::FencePolicy *Policy,
+                         const uint64_t *Seeds, AppVerdict *Verdicts,
+                         size_t N, unsigned BatchWidth = 0);
+
+} // namespace apps
+} // namespace gpuwmm
+
+#endif // GPUWMM_APPS_APPCOMPILE_H

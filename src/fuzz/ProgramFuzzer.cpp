@@ -279,27 +279,27 @@ CompiledProgram fuzz::compileProgram(const Program &P,
   for (unsigned T = 0; T != 2; ++T) {
     using Code = sim::BatchOp::Code;
     const auto Begin = static_cast<uint32_t>(BP.Ops.size());
-    BP.Ops.push_back({Code::Jitter, 0, 0, 8}); // yield(1 + rand(8)).
+    BP.Ops.push_back({Code::Jitter, 0, 0, 0, 8}); // yield(1 + rand(8)).
     const sim::Addr Log = T == 0 ? CP.Log0 : CP.Log1;
     unsigned LoadIdx = 0;
     for (const Op &O : P.Thread[T]) {
       const sim::Addr A = CP.Vars + O.Var * Patch;
       switch (O.K) {
       case Op::Kind::Store:
-        BP.Ops.push_back({Code::Store, 0, A, O.Value});
+        BP.Ops.push_back({Code::Store, 0, 0, A, O.Value});
         break;
       case Op::Kind::Load:
         // The interpreter logs each load right after it completes; the
         // +1 bias distinguishes a logged 0 from "unset".
-        BP.Ops.push_back({Code::Load, NextSlot, A, 0});
-        BP.Ops.push_back({Code::WbStore, NextSlot, Log + LoadIdx++, 1});
+        BP.Ops.push_back({Code::Load, NextSlot, 0, A, 0});
+        BP.Ops.push_back({Code::WbStore, NextSlot, 0, Log + LoadIdx++, 1});
         ++NextSlot;
         break;
       case Op::Kind::AtomicAdd:
-        BP.Ops.push_back({Code::AtomicAdd, 0, A, O.Value});
+        BP.Ops.push_back({Code::AtomicAdd, 0, 0, A, O.Value});
         break;
       case Op::Kind::Fence:
-        BP.Ops.push_back({Code::FenceDevice, 0, 0, 0});
+        BP.Ops.push_back({Code::FenceDevice, 0, 0, 0, 0});
         break;
       }
     }
@@ -369,7 +369,26 @@ FuzzResult fuzz::fuzzProgram(const Program &P,
   sim::ContextLease Ctx; // One recycled engine across all runs.
   // Compile once, execute every run on the batched engine — bit-identical
   // to the scalar interpreter at the same derived seeds (the property
-  // FuzzTests pins), at a fraction of the per-run cost.
+  // FuzzTests pins), at a fraction of the per-run cost. --engine=scalar
+  // forces the interpreter for A/B debugging.
+  if (sim::engineMode() == sim::EngineMode::Scalar) {
+    for (unsigned I = 0; I != Runs; ++I) {
+      const Outcome O =
+          runOnWeakMachine(Ctx.get(), P, Chip, Master.fork(I).next(),
+                           Stressed);
+      if (Sc.count(O)) {
+        ScSeen.insert(O);
+        continue;
+      }
+      if (Result.WeakOutcomes == 0)
+        Result.FirstWeak = O;
+      ++Result.WeakOutcomes;
+      WeakSeen.insert(O);
+    }
+    Result.DistinctWeak = static_cast<unsigned>(WeakSeen.size());
+    Result.DistinctScSeen = static_cast<unsigned>(ScSeen.size());
+    return Result;
+  }
   const CompiledProgram CP = compileProgram(P, Chip);
   for (unsigned I = 0; I != Runs; ++I) {
     const Outcome O =

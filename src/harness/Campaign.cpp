@@ -2,9 +2,11 @@
 
 #include "harness/Campaign.h"
 
+#include "apps/AppCompile.h"
 #include "harness/ShardStore.h"
 #include "harness/WorkList.h"
 #include "model/StreamingChecker.h"
+#include "sim/BatchExec.h"
 
 #include <algorithm>
 #include <cassert>
@@ -63,6 +65,48 @@ uint64_t canonicalLitmusIndex(const litmus::Program &Test) {
       return I;
   assert(false && "litmus test not in the catalog");
   return 0;
+}
+
+/// Executes runs [Begin, End) of one app cell on the calling worker's
+/// leased context, mirroring the litmus cells' oracle-stretch pattern
+/// (DESIGN.md Sec. 19): every OracleEvery-th run executes scalar with the
+/// streaming checker attached, and the unchecked stretches between
+/// samples go through the batched engine. Per-run verdicts (and the
+/// oracle's sampling grid) are bit-identical to the all-scalar loop for
+/// every chunking.
+void runCellChunk(apps::AppKind App, const sim::ChipProfile &Chip,
+                  const stress::Environment &Env,
+                  const stress::TunedStressParams &Tuned, uint64_t CellSeed,
+                  unsigned Begin, unsigned End, unsigned OracleEvery,
+                  apps::AppVerdict *Verdicts, uint8_t *OracleStatus) {
+  sim::ContextLease Ctx;
+  thread_local model::StreamingChecker Checker;
+  std::vector<uint64_t> Seeds;
+  unsigned Run = Begin;
+  while (Run != End) {
+    if (OracleEvery != 0 && Run % OracleEvery == 0) {
+      Checker.begin();
+      Ctx.get().requestStreaming(&Checker);
+      Verdicts[Run] = apps::runApplicationOnce(
+          Ctx.get(), App, Chip, Env, Tuned,
+          /*Policy=*/nullptr, Rng::deriveStream(CellSeed, Run));
+      Ctx.get().requestStreaming(nullptr);
+      OracleStatus[Run] = Checker.finish().AxiomsOk ? 1 : 2;
+      ++Run;
+      continue;
+    }
+    unsigned StretchEnd = End;
+    if (OracleEvery != 0)
+      StretchEnd = std::min<unsigned>(
+          End, (Run / OracleEvery + 1) * OracleEvery);
+    Seeds.resize(StretchEnd - Run);
+    for (unsigned I = Run; I != StretchEnd; ++I)
+      Seeds[I - Run] = Rng::deriveStream(CellSeed, I);
+    apps::runApplicationBatch(Ctx.get(), App, Chip, Env, Tuned,
+                              /*Policy=*/nullptr, Seeds.data(),
+                              Verdicts + Run, Seeds.size());
+    Run = StretchEnd;
+  }
 }
 
 } // namespace
@@ -145,34 +189,26 @@ CampaignReport harness::runCampaign(const CampaignConfig &Config,
   // filled only when the oracle samples runs.
   std::vector<uint8_t> OracleStatus(
       Config.OracleEvery ? Verdicts.size() : 0, 0);
-  parallelFor(Pool, Verdicts.size(), [&](size_t I) {
-    // One recycled execution engine per worker thread: the campaign's
-    // millions of runs share a handful of contexts instead of
-    // reconstructing the simulator per run (DESIGN.md Sec. 12).
-    sim::ContextLease Ctx;
-    const size_t CellIdx = I / Config.Runs;
-    const unsigned Run = static_cast<unsigned>(I % Config.Runs);
+  // Distribute chunks of the flattened (cell, run) space: each work unit
+  // is up to one batch width of one cell's runs. Checked runs stream
+  // their memory events through the incremental oracle as they execute:
+  // no trace is retained, so --oracle=all costs frontier-bounded memory.
+  // The oracle observes only: verdicts (and thus the report's counts)
+  // are identical with it on or off. One recycled execution engine and
+  // checker per worker thread (DESIGN.md Sec. 12).
+  const unsigned W = sim::defaultBatchWidth();
+  const size_t ChunksPerCell = (Config.Runs + W - 1) / W;
+  parallelFor(Pool, Report.Cells.size() * ChunksPerCell, [&](size_t I) {
+    const size_t CellIdx = I / ChunksPerCell;
+    const unsigned Begin = static_cast<unsigned>(I % ChunksPerCell) * W;
     const CampaignCell &Cell = Report.Cells[CellIdx];
-    // Checked runs stream their memory events through the incremental
-    // oracle as they execute: no trace is retained, so --oracle=all costs
-    // frontier-bounded memory. The oracle observes only: verdicts (and
-    // thus the report's counts) are identical with it on or off. One
-    // recycled checker per worker thread, like the contexts.
-    const bool Sampled = Config.OracleEvery != 0 &&
-                         Run % Config.OracleEvery == 0;
-    thread_local model::StreamingChecker Checker;
-    if (Sampled) {
-      Checker.begin();
-      Ctx.get().requestStreaming(&Checker);
-    }
-    Verdicts[I] = apps::runApplicationOnce(
-        Ctx.get(), Cell.App, *Cell.Chip, Cell.Env,
-        Tuned[CellIdx / CellsPerChip],
-        /*Policy=*/nullptr, Rng::deriveStream(CellSeeds[CellIdx], Run));
-    if (Sampled) {
-      Ctx.get().requestStreaming(nullptr);
-      OracleStatus[I] = Checker.finish().AxiomsOk ? 1 : 2;
-    }
+    runCellChunk(Cell.App, *Cell.Chip, Cell.Env,
+                 Tuned[CellIdx / CellsPerChip], CellSeeds[CellIdx], Begin,
+                 std::min(Begin + W, Config.Runs), Config.OracleEvery,
+                 Verdicts.data() + CellIdx * Config.Runs,
+                 Config.OracleEvery
+                     ? OracleStatus.data() + CellIdx * Config.Runs
+                     : nullptr);
   });
 
   for (size_t CellIdx = 0; CellIdx != Report.Cells.size(); ++CellIdx) {
@@ -233,26 +269,18 @@ CampaignCell harness::runCampaignAppCell(const CampaignConfig &Config,
   std::vector<apps::AppVerdict> Verdicts(Config.Runs);
   std::vector<uint8_t> OracleStatus(Config.OracleEvery ? Config.Runs : 0,
                                     0);
-  // Same per-run math as runCampaign's flattened loop: run R executes at
-  // deriveStream(cell seed, R), and every OracleEvery-th run streams
-  // through the incremental checker — so this cell's counts are
-  // bit-identical to the monolithic campaign's.
-  parallelFor(Pool, Config.Runs, [&](size_t Run) {
-    sim::ContextLease Ctx;
-    const bool Sampled = Config.OracleEvery != 0 &&
-                         Run % Config.OracleEvery == 0;
-    thread_local model::StreamingChecker Checker;
-    if (Sampled) {
-      Checker.begin();
-      Ctx.get().requestStreaming(&Checker);
-    }
-    Verdicts[Run] = apps::runApplicationOnce(
-        Ctx.get(), App, Chip, Env, Tuned,
-        /*Policy=*/nullptr, Rng::deriveStream(CellSeed, Run));
-    if (Sampled) {
-      Ctx.get().requestStreaming(nullptr);
-      OracleStatus[Run] = Checker.finish().AxiomsOk ? 1 : 2;
-    }
+  // Same per-run math as runCampaign's chunked loop: run R executes at
+  // deriveStream(cell seed, R), every OracleEvery-th run streams through
+  // the incremental checker, and the stretches between samples take the
+  // batched engine — so this cell's counts are bit-identical to the
+  // monolithic campaign's.
+  const unsigned W = sim::defaultBatchWidth();
+  parallelFor(Pool, (Config.Runs + W - 1) / W, [&](size_t C) {
+    const unsigned Begin = static_cast<unsigned>(C) * W;
+    runCellChunk(App, Chip, Env, Tuned, CellSeed, Begin,
+                 std::min(Begin + W, Config.Runs), Config.OracleEvery,
+                 Verdicts.data(),
+                 Config.OracleEvery ? OracleStatus.data() : nullptr);
   });
   for (unsigned Run = 0; Run != Config.Runs; ++Run) {
     const apps::AppVerdict V = Verdicts[Run];
@@ -476,7 +504,16 @@ void harness::writeCampaignJson(const CampaignReport &Report,
        << Cell.Env.name() << "\", \"app\": \"" << apps::appName(Cell.App)
        << "\", \"runs\": " << R.Runs << ", \"errors\": " << R.Errors
        << ", \"timeouts\": " << R.Timeouts << ", \"effective\": "
-       << (R.effective() ? "true" : "false");
+       << (R.effective() ? "true" : "false")
+       // Which engine the cell's unchecked runs took (additive v2 key;
+       // derived, not stored — dispatch is a pure function of the app and
+       // the process-wide mode).
+       << ", \"engine\": \""
+       << (apps::appLowerable(Cell.App) &&
+               sim::engineMode() != sim::EngineMode::Scalar
+           ? "batched"
+           : "scalar")
+       << '"';
     if (Config.OracleEvery)
       OS << ", \"oracle_checked\": " << Cell.OracleChecked
          << ", \"oracle_violations\": " << Cell.OracleViolations;

@@ -252,10 +252,11 @@ unsigned LitmusRunner::countWeak(const Program &P, unsigned Distance,
                                  const RunOpts &Opts) {
   // Tracing and streaming sinks observe through the scalar engine's
   // event seam, which the batched executor does not drive: such runs take
-  // the scalar path. Results and seed streams are identical either way,
-  // so callers may freely interleave traced and batched runs on one
-  // runner.
-  if (Opts.Trace || Opts.Sink) {
+  // the scalar path, as does everything under --engine=scalar. Results
+  // and seed streams are identical either way, so callers may freely
+  // interleave traced and batched runs on one runner.
+  if (Opts.Trace || Opts.Sink ||
+      sim::engineMode() == sim::EngineMode::Scalar) {
     unsigned Weak = 0;
     for (unsigned I = 0; I != C; ++I)
       Weak += runOnce(P, Distance, S, Opts);
@@ -304,38 +305,38 @@ void LitmusRunner::rebuildBatchPlan(const Program &P, unsigned Distance,
     const auto Begin = static_cast<uint32_t>(BP.Ops.size());
     using Code = sim::BatchOp::Code;
     assert(P.PhaseJitter > 0 && "phase jitter bound must be positive");
-    BP.Ops.push_back({Code::Jitter, 0, 0, P.PhaseJitter});
+    BP.Ops.push_back({Code::Jitter, 0, 0, 0, P.PhaseJitter});
     for (const ProgOp &O : P.Threads[TI].Ops) {
       const sim::Addr A = B.Base + O.Loc * B.Delta;
       const auto Slot = static_cast<uint16_t>(O.Reg);
       switch (O.K) {
       case ProgOp::Kind::Store:
-        BP.Ops.push_back({Code::Store, 0, A, O.Value});
+        BP.Ops.push_back({Code::Store, 0, 0, A, O.Value});
         break;
       case ProgOp::Kind::Load:
-        BP.Ops.push_back({Code::Load, Slot, A, 0});
+        BP.Ops.push_back({Code::Load, Slot, 0, A, 0});
         break;
       case ProgOp::Kind::AsyncLoad:
-        BP.Ops.push_back({Code::AsyncLoad, Slot, A, 0});
+        BP.Ops.push_back({Code::AsyncLoad, Slot, 0, A, 0});
         break;
       case ProgOp::Kind::AwaitLoad:
-        BP.Ops.push_back({Code::AwaitLoad, Slot, 0, 0});
+        BP.Ops.push_back({Code::AwaitLoad, Slot, 0, 0, 0});
         break;
       case ProgOp::Kind::AtomicAdd:
-        BP.Ops.push_back({Code::AtomicAdd, 0, A, O.Value});
+        BP.Ops.push_back({Code::AtomicAdd, 0, 0, A, O.Value});
         break;
       case ProgOp::Kind::Fence:
-        BP.Ops.push_back({Code::FenceDevice, 0, 0, 0});
+        BP.Ops.push_back({Code::FenceDevice, 0, 0, 0, 0});
         break;
       case ProgOp::Kind::OptFence:
         if (Fenced)
-          BP.Ops.push_back({Code::FenceDevice, 0, 0, 0});
+          BP.Ops.push_back({Code::FenceDevice, 0, 0, 0, 0});
         break;
       }
     }
     for (const ProgOp &O : P.Threads[TI].Ops)
       if (O.K == ProgOp::Kind::Load || O.K == ProgOp::Kind::AsyncLoad)
-        BP.Ops.push_back({Code::WbStore, static_cast<uint16_t>(O.Reg),
+        BP.Ops.push_back({Code::WbStore, static_cast<uint16_t>(O.Reg), 0,
                           B.Results + O.Reg, 0});
     ThreadRange[TI] = {Begin, static_cast<uint32_t>(BP.Ops.size())};
   }

@@ -2,8 +2,7 @@
 //
 // The run loop below is a line-for-line replica of Scheduler::launch and
 // Scheduler::run restricted to the op shapes batched programs use (no
-// barriers, no fence policies, no faults). Fidelity notes, keyed to the
-// scalar source:
+// faults). Fidelity notes, keyed to the scalar source:
 //
 //  * Residency: block B -> SM B % NumSMs (or a random SM per block, in
 //    block order, under randomisation); warps never straddle blocks; under
@@ -23,7 +22,23 @@
 //    intervening ticks draw nothing and have no effect beyond advancing
 //    the clock and each non-empty SM's rotor by one per tick. Jumping
 //    Now to (first wake tick - 1) and advancing the rotors by the span
-//    is therefore bit-identical, including the timeout tick.
+//    is therefore bit-identical, including the timeout tick. Lanes parked
+//    at a barrier are excluded from the wake scan (they wake only through
+//    a release, which requires a sleeping lane's resume first).
+//  * Free ops (register arithmetic, branches) run at the head of the
+//    resume that issues the lane's next suspending op — exactly where the
+//    coroutine body evaluates its between-co_await computation. Register
+//    state is invisible to the memory model, so only the suspending ops'
+//    side effects, sleeps and draws carry fidelity; the free prefix just
+//    has to pick the same next suspending op, which the lowering
+//    guarantees per kernel (apps/AppCompile.cpp).
+//  * Barriers replicate opBarrier/releaseBarrier: the arriving lane parks
+//    (still resident in its warp, ineligible), the last live arriver
+//    releases every parked lane of its block in ascending Tid order with
+//    a draw-free block fence and wake at Now + 1, and a lane completing
+//    while block-mates are parked raises the divergence flag, which the
+//    main loop surfaces at the top of the next tick — all in the scalar
+//    engine's exact order.
 //
 //===----------------------------------------------------------------------===//
 
@@ -80,16 +95,79 @@ unsigned sim::defaultBatchWidth() {
 void sim::setDefaultBatchWidth(unsigned K) { CliBatchWidth = K; }
 
 //===----------------------------------------------------------------------===//
+// Engine mode resolution
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// CLI-installed engine mode; unset until setEngineMode runs. Written once
+/// before any workers start, read-only afterwards.
+EngineMode CliEngineMode = EngineMode::Auto;
+bool CliEngineModeSet = false;
+
+EngineMode resolveEnvEngineMode() {
+  if (const char *Env = std::getenv("GPUWMM_ENGINE")) {
+    if (const std::optional<EngineMode> M = parseEngineMode(Env))
+      return *M;
+    // Mirror the --engine validation, but warn-and-fall-back rather than
+    // exit: an environment variable should not be fatal to library users.
+    std::fprintf(stderr,
+                 "warning: ignoring invalid GPUWMM_ENGINE='%s' (must be "
+                 "auto, scalar or batched); using engine mode auto\n",
+                 Env);
+  }
+  return EngineMode::Auto;
+}
+
+} // namespace
+
+EngineMode sim::engineMode() {
+  if (CliEngineModeSet)
+    return CliEngineMode;
+  static const EngineMode Resolved = resolveEnvEngineMode();
+  return Resolved;
+}
+
+void sim::setEngineMode(EngineMode M) {
+  CliEngineMode = M;
+  CliEngineModeSet = true;
+}
+
+const char *sim::engineModeName(EngineMode M) {
+  switch (M) {
+  case EngineMode::Auto:
+    return "auto";
+  case EngineMode::Scalar:
+    return "scalar";
+  case EngineMode::Batched:
+    return "batched";
+  }
+  return "unknown";
+}
+
+std::optional<EngineMode> sim::parseEngineMode(std::string_view Name) {
+  if (Name == "auto")
+    return EngineMode::Auto;
+  if (Name == "scalar")
+    return EngineMode::Scalar;
+  if (Name == "batched")
+    return EngineMode::Batched;
+  return std::nullopt;
+}
+
+//===----------------------------------------------------------------------===//
 // The executor
 //===----------------------------------------------------------------------===//
 
 namespace {
 
-// Lane states; the scalar engine's Running is transient and AtBarrier
-// cannot occur in batched shapes.
+// Lane states; the scalar engine's Running is transient. A lane at a
+// barrier stays in its warp's live list but fails the eligibility test,
+// exactly as the scalar AtBarrier state does.
 constexpr uint8_t LaneSleeping = 0;
 constexpr uint8_t LaneOnTicket = 1;
 constexpr uint8_t LaneDone = 2;
+constexpr uint8_t LaneAtBarrier = 3;
 
 } // namespace
 
@@ -110,6 +188,8 @@ RunResult sim::runBatchProgram(const BatchProgram &BP,
   for (unsigned T = 0; T != NumThreads; ++T)
     S.PC[T] = BP.Lanes[T].Begin;
   S.TicketWaiters.clear();
+  S.BlockLive.assign(BP.GridDim, BP.BlockDim);
+  S.BlockAtBarrier.assign(BP.GridDim, 0);
 
   // Residency. Under deterministic scheduling the layout is a pure
   // function of (grid, block, SMs) and launch draws nothing, so it is
@@ -171,10 +251,18 @@ RunResult sim::runBatchProgram(const BatchProgram &BP,
   const BatchOp *const Ops = BP.Ops.data();
   unsigned Live = NumThreads;
   uint64_t Now = 0;
+  bool DivergenceFlag = false;
   RunResult Result;
 
   while (Live > 0) {
     ++Now;
+    // The scalar loop checks the divergence flag at the top of the next
+    // tick, before the timeout: a lane completing past a barrier its
+    // block-mates still wait at surfaces one tick later.
+    if (DivergenceFlag) {
+      Result.Status = RunStatus::BarrierDivergence;
+      break;
+    }
     if (Now > Cfg.MaxTicks) {
       Result.Status = RunStatus::Timeout;
       break;
@@ -233,11 +321,62 @@ RunResult sim::runBatchProgram(const BatchProgram &BP,
             continue;
           WarpIssued = true;
 
-          // --- Resume: execute one op (or finish the lane). ---
+          // --- Resume: free ops, then one suspending op (or finish the
+          // --- lane). The free prefix is the coroutine body's
+          // --- computation between two co_awaits: register arithmetic
+          // --- and control flow, evaluated in the resume that issues the
+          // --- next suspending op.
           uint32_t PC = S.PC[Tid];
-          if (PC == BP.Lanes[Tid].End) {
+          const uint32_t End = BP.Lanes[Tid].End;
+          while (PC != End) {
+            const BatchOp &F = Ops[PC];
+            if (F.C < BatchOp::Code::MovImm)
+              break;
+            switch (F.C) {
+            case BatchOp::Code::MovImm:
+              Regs[F.Slot] = F.Imm;
+              ++PC;
+              break;
+            case BatchOp::Code::AddImm:
+              Regs[F.Slot] = Regs[F.Slot2] + F.Imm;
+              ++PC;
+              break;
+            case BatchOp::Code::MulImm:
+              Regs[F.Slot] = Regs[F.Slot2] * F.Imm;
+              ++PC;
+              break;
+            case BatchOp::Code::ModImm:
+              Regs[F.Slot] = Regs[F.Slot2] % F.Imm;
+              ++PC;
+              break;
+            case BatchOp::Code::AddRR:
+              Regs[F.Slot] = Regs[F.Slot2] + Regs[F.A];
+              ++PC;
+              break;
+            case BatchOp::Code::Jump:
+              PC = F.A;
+              break;
+            case BatchOp::Code::BrEq:
+              PC = Regs[F.Slot] == F.Imm ? F.A : PC + 1;
+              break;
+            case BatchOp::Code::BrNe:
+              PC = Regs[F.Slot] != F.Imm ? F.A : PC + 1;
+              break;
+            case BatchOp::Code::BrLt:
+              PC = Regs[F.Slot] < F.Imm ? F.A : PC + 1;
+              break;
+            default:
+              assert(false && "suspending op in free-op dispatch");
+            }
+          }
+          if (PC == End) {
+            // The coroutine's final resume: the lane completes. A block
+            // with lanes parked at a barrier can now never release it.
             S.State[Tid] = LaneDone;
             --Live;
+            --S.BlockLive[W.Block];
+            if (S.BlockAtBarrier[W.Block] > 0)
+              DivergenceFlag = true;
             --Out; // Drop the lane from the live list.
             continue;
           }
@@ -281,6 +420,82 @@ RunResult sim::runBatchProgram(const BatchProgram &BP,
             Mem.store(Tid, W.Block, O.A, Regs[O.Slot] + O.Imm);
             S.WakeTick[Tid] = Now + 1;
             break;
+          case BatchOp::Code::Sleep:
+            S.WakeTick[Tid] = Now + std::max(1u, O.Imm);
+            break;
+          case BatchOp::Code::SleepRand:
+            // The draw and the sleep share this resume, as the
+            // coroutine's rand-then-yield backoff does.
+            S.WakeTick[Tid] =
+                Now + std::max<uint64_t>(1, O.A + R.below(O.Imm));
+            break;
+          case BatchOp::Code::Barrier: {
+            // opBarrier: park the lane; the last live arriver releases
+            // the whole block within its own resume (releaseBarrier),
+            // fencing each parked lane in ascending Tid order.
+            S.State[Tid] = LaneAtBarrier;
+            S.PC[Tid] = PC + 1;
+            const unsigned B = W.Block;
+            if (++S.BlockAtBarrier[B] == S.BlockLive[B]) {
+              const unsigned FirstTid = B * BP.BlockDim;
+              for (unsigned L = 0; L != BP.BlockDim; ++L) {
+                const unsigned T2 = FirstTid + L;
+                if (S.State[T2] != LaneAtBarrier)
+                  continue;
+                (void)Mem.fenceBlock(T2, B);
+                S.State[T2] = LaneSleeping;
+                S.WakeTick[T2] = Now + 1;
+              }
+              S.BlockAtBarrier[B] = 0;
+              WakeNextTick = true;
+            }
+            continue; // PC already stored; no generic postlude.
+          }
+          case BatchOp::Code::LoadAcc:
+            Regs[O.Slot] += Mem.load(Tid, W.Block, O.A);
+            S.WakeTick[Tid] = Now + 1;
+            break;
+          case BatchOp::Code::LoadIdx:
+            Regs[O.Slot] = Mem.load(Tid, W.Block, O.A + Regs[O.Slot2]);
+            S.WakeTick[Tid] = Now + 1;
+            break;
+          case BatchOp::Code::LoadAccIdx:
+            Regs[O.Slot] += Mem.load(Tid, W.Block, O.A + Regs[O.Slot2]);
+            S.WakeTick[Tid] = Now + 1;
+            break;
+          case BatchOp::Code::LoadMulAcc:
+            Regs[O.Slot] += Regs[O.Slot2] * Mem.load(Tid, W.Block, O.A);
+            S.WakeTick[Tid] = Now + 1;
+            break;
+          case BatchOp::Code::StoreIdx:
+            Mem.store(Tid, W.Block, O.A + Regs[O.Slot2], O.Imm);
+            S.WakeTick[Tid] = Now + 1;
+            break;
+          case BatchOp::Code::AtomicAddReg:
+            Regs[O.Slot] = Mem.atomicAdd(Tid, O.A, O.Imm);
+            S.WakeTick[Tid] = Now + std::max(1u, Chip.AtomicLatency);
+            break;
+          case BatchOp::Code::AtomicCas:
+            Regs[O.Slot] =
+                Mem.atomicCAS(Tid, O.A, O.Imm & 0xffffu, O.Imm >> 16);
+            S.WakeTick[Tid] = Now + std::max(1u, Chip.AtomicLatency);
+            break;
+          case BatchOp::Code::AtomicCasIdx:
+            Regs[O.Slot] = Mem.atomicCAS(Tid, O.A + Regs[O.Slot2],
+                                         O.Imm & 0xffffu, O.Imm >> 16);
+            S.WakeTick[Tid] = Now + std::max(1u, Chip.AtomicLatency);
+            break;
+          case BatchOp::Code::AtomicExch:
+            (void)Mem.atomicExch(Tid, O.A, O.Imm);
+            S.WakeTick[Tid] = Now + std::max(1u, Chip.AtomicLatency);
+            break;
+          case BatchOp::Code::AtomicExchIdx:
+            (void)Mem.atomicExch(Tid, O.A + Regs[O.Slot2], O.Imm);
+            S.WakeTick[Tid] = Now + std::max(1u, Chip.AtomicLatency);
+            break;
+          default:
+            assert(false && "free op in suspending-op dispatch");
+            break;
           }
           WakeNextTick |= S.WakeTick[Tid] == Now + 1;
           S.PC[Tid] = PC + 1;
@@ -304,9 +519,13 @@ RunResult sim::runBatchProgram(const BatchProgram &BP,
           for (const uint32_t Tid : S.WarpLive[W.LiveIdx])
             AnySleeping |= S.State[Tid] == LaneSleeping;
       if (!AnySleeping) {
-        // No barriers exist in batched shapes, so this is a plain
-        // deadlock (unreachable for well-formed programs).
-        Result.Status = RunStatus::Deadlock;
+        // Scalar tie-break: live lanes stuck at a barrier classify as
+        // barrier divergence, anything else is a plain deadlock.
+        bool AnyAtBarrier = false;
+        for (const unsigned AB : S.BlockAtBarrier)
+          AnyAtBarrier |= AB != 0;
+        Result.Status = AnyAtBarrier ? RunStatus::BarrierDivergence
+                                     : RunStatus::Deadlock;
         break;
       }
     }

@@ -26,16 +26,19 @@
 ///
 /// Determinism contract (absolute): for the op shapes a BatchProgram can
 /// express (start-phase jitter, loads, stores, atomics, device fences,
-/// split-phase load pairs, register writebacks — no barriers, no fence
-/// policies), runBatchProgram consumes exactly the same RNG draws in
-/// exactly the same order as the coroutine scheduler and produces
+/// split-phase load pairs, register writebacks, block barriers, structured
+/// loops/branches over registers, indexed addressing and pre-compiled
+/// fence-policy sequences), runBatchProgram consumes exactly the same RNG
+/// draws in exactly the same order as the coroutine scheduler and produces
 /// bit-identical memory states, for every batch width and both scheduling
 /// modes. The idle fast-forward is draw-free by construction: a tick in
 /// which no lane is eligible, no store is buffered and no async load is
 /// pending draws nothing in the scalar engine either — it only advances
 /// the clock and the SM rotors, which the fast-forward replays in closed
 /// form. BatchedExecutionTests pins the equivalence per run against
-/// LitmusRunner::runOnce and fuzz::runOnWeakMachine.
+/// LitmusRunner::runOnce and fuzz::runOnWeakMachine; the application
+/// lowering layer (apps::compileApplication, DESIGN.md Sec. 19) pins it
+/// per run against apps::runApplicationOnce.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -45,6 +48,8 @@
 #include "sim/Types.h"
 
 #include <cstdint>
+#include <optional>
+#include <string_view>
 #include <vector>
 
 namespace gpuwmm {
@@ -56,10 +61,19 @@ namespace sim {
 class MemorySystem;
 struct ChipProfile;
 
-/// One pre-resolved instruction of a batched program. 12 bytes, walked
-/// linearly per lane — the batched analogue of one co_await.
+/// One pre-resolved instruction of a batched program, walked linearly per
+/// lane. Op codes split into two groups:
+///
+///  * Suspending ops (everything before MovImm) are the batched analogue
+///    of one co_await: a resume executes exactly one of them and sleeps.
+///  * Free ops (MovImm and later) are the batched analogue of the free
+///    computation between two co_awaits: register moves, arithmetic and
+///    control flow. They execute — any number of them — at the start of
+///    the resume that then issues the next suspending op (or completes
+///    the lane), exactly where the coroutine body evaluates them.
 struct BatchOp {
   enum class Code : uint8_t {
+    // --- Suspending ops (one resume each). ---
     Jitter,      ///< sleep(1 + rng.below(Imm)); start-phase jitter.
     Store,       ///< Mem.store(A, Imm); sleep 1.
     Load,        ///< Regs[Slot] = Mem.load(A); sleep 1.
@@ -67,13 +81,47 @@ struct BatchOp {
     AwaitLoad,   ///< Complete the async load ticketed in Regs[Slot].
     AtomicAdd,   ///< Mem.atomicAdd(A, Imm); sleep AtomicLatency.
     FenceDevice, ///< sleep(Mem.fenceDevice()).
-    WbStore      ///< Mem.store(A, Regs[Slot] + Imm); sleep 1 (writeback /
+    WbStore,     ///< Mem.store(A, Regs[Slot] + Imm); sleep 1 (writeback /
                  ///< load log; Imm is the log bias).
+    Sleep,       ///< sleep(max(1, Imm)): yield(Imm), a disabled built-in
+                 ///< fence (Imm = 1), or a policy fence's base-latency
+                 ///< stage (Imm = FenceBaseLatency).
+    SleepRand,   ///< sleep(max(1, A + rng.below(Imm))): backoff
+                 ///< yield(A + rand(Imm)); draw and sleep share one
+                 ///< resume, as the coroutine's rand-then-yield does.
+    Barrier,     ///< Block barrier: replicates opBarrier/releaseBarrier.
+    LoadAcc,     ///< Regs[Slot] += Mem.load(A); sleep 1.
+    LoadIdx,     ///< Regs[Slot] = Mem.load(A + Regs[Slot2]); sleep 1.
+    LoadAccIdx,  ///< Regs[Slot] += Mem.load(A + Regs[Slot2]); sleep 1.
+    LoadMulAcc,  ///< Regs[Slot] += Regs[Slot2] * Mem.load(A); sleep 1.
+    StoreIdx,    ///< Mem.store(A + Regs[Slot2], Imm); sleep 1.
+    AtomicAddReg, ///< Regs[Slot] = Mem.atomicAdd(A, Imm); sleep
+                  ///< AtomicLatency (old value, e.g. a ticket draw).
+    AtomicCas,    ///< Regs[Slot] = Mem.atomicCAS(A, Imm & 0xffff,
+                  ///< Imm >> 16); sleep AtomicLatency.
+    AtomicCasIdx, ///< As AtomicCas at address A + Regs[Slot2].
+    AtomicExch,   ///< Mem.atomicExch(A, Imm); sleep AtomicLatency.
+    AtomicExchIdx, ///< Mem.atomicExch(A + Regs[Slot2], Imm); sleep
+                   ///< AtomicLatency.
+    // --- Free ops (no suspension; run before the resume's suspending
+    // --- op). Everything from MovImm on must stay free: the executor
+    // --- tests `C >= Code::MovImm`.
+    MovImm, ///< Regs[Slot] = Imm.
+    AddImm, ///< Regs[Slot] = Regs[Slot2] + Imm (unsigned wraparound;
+            ///< Imm = 0xffffffff decrements).
+    MulImm, ///< Regs[Slot] = Regs[Slot2] * Imm (unsigned wraparound).
+    ModImm, ///< Regs[Slot] = Regs[Slot2] % Imm (Imm != 0).
+    AddRR,  ///< Regs[Slot] = Regs[Slot2] + Regs[A] (A names a third slot).
+    Jump,   ///< PC = A.
+    BrEq,   ///< if (Regs[Slot] == Imm) PC = A; else fall through.
+    BrNe,   ///< if (Regs[Slot] != Imm) PC = A; else fall through.
+    BrLt    ///< if (Regs[Slot] < Imm) PC = A; else fall through.
   };
   Code C = Code::Jitter;
-  uint16_t Slot = 0; ///< Register slot (Load/AsyncLoad/AwaitLoad/WbStore).
-  Addr A = 0;        ///< Pre-resolved absolute address.
-  Word Imm = 0;      ///< Immediate: store value / jitter bound / log bias.
+  uint16_t Slot = 0;  ///< Destination/source register slot.
+  uint16_t Slot2 = 0; ///< Second register slot (indexed ops, arithmetic).
+  Addr A = 0;         ///< Pre-resolved absolute address / branch target.
+  Word Imm = 0;       ///< Immediate: store value / bound / operand.
 };
 
 /// The op range [Begin, End) of one launched lane; Begin == End is an idle
@@ -121,6 +169,12 @@ struct BatchScratch {
   std::vector<uint64_t> WakeTick;
   std::vector<uint32_t> PC;
   std::vector<unsigned> TicketWaiters;
+  /// Per-block barrier bookkeeping, mirroring the scalar BarrierState:
+  /// lanes still live in the block and lanes currently parked at its
+  /// barrier. A lane completing while its block has parked lanes raises
+  /// barrier divergence, as the coroutine scheduler does.
+  std::vector<unsigned> BlockLive;
+  std::vector<unsigned> BlockAtBarrier;
   /// Per-warp live-lane lists (Tids in lane order): completed lanes drop
   /// out, so steady-state ticks scan only the program's real threads, not
   /// a block's idle filler lanes. Removal preserves order, keeping the
@@ -161,6 +215,35 @@ void setDefaultBatchWidth(unsigned K);
 
 /// Upper bound accepted for --batch / GPUWMM_BATCH.
 inline constexpr int64_t MaxBatchWidth = 1 << 16;
+
+/// The process-wide engine selection (--engine / GPUWMM_ENGINE).
+///
+///  * Auto (the default): batch-capable work (litmus/fuzz programs,
+///    lowerable app kernels) runs on the batched engine; everything else
+///    — and every traced or sink-attached run — takes the scalar path.
+///  * Scalar: force the coroutine engine everywhere (A/B debugging,
+///    bisection of batched-vs-scalar divergence).
+///  * Batched: as Auto, but consumers that cannot batch a request the
+///    user explicitly made (an app kernel with no lowering) must fail
+///    loudly instead of silently falling back — enforced at the CLI.
+///
+/// Engine choice never affects results, only throughput: both engines are
+/// draw-for-draw identical per run.
+enum class EngineMode : uint8_t { Auto, Scalar, Batched };
+
+/// The process-wide engine mode: the CLI's --engine, else GPUWMM_ENGINE
+/// (invalid values warn and fall back to auto, mirroring GPUWMM_BATCH),
+/// else Auto.
+EngineMode engineMode();
+
+/// Installs the CLI-selected engine mode.
+void setEngineMode(EngineMode M);
+
+/// "auto" / "scalar" / "batched".
+const char *engineModeName(EngineMode M);
+
+/// Parses an engineModeName; returns nullopt for anything else.
+std::optional<EngineMode> parseEngineMode(std::string_view Name);
 
 /// Executes one run of \p BP to completion on \p Mem, drawing from \p R —
 /// a draw-for-draw replica of Scheduler::launch + Scheduler::run for the

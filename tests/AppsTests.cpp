@@ -10,9 +10,13 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "apps/AppCompile.h"
 #include "apps/Application.h"
+#include "model/StreamingChecker.h"
 
 #include "gtest/gtest.h"
+
+#include <vector>
 
 using namespace gpuwmm;
 using namespace gpuwmm::apps;
@@ -197,4 +201,178 @@ TEST(AppFindingsTest, VerdictNamesAreStable) {
                "postcondition-fail");
   EXPECT_STREQ(appVerdictName(AppVerdict::Timeout), "timeout");
   EXPECT_STREQ(appVerdictName(AppVerdict::SimFault), "sim-fault");
+}
+
+//===----------------------------------------------------------------------===//
+// Batched application execution (DESIGN.md Sec. 19)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::vector<uint64_t> forkSeeds(uint64_t Master, unsigned N) {
+  Rng M(Master);
+  std::vector<uint64_t> Seeds(N);
+  for (unsigned I = 0; I != N; ++I)
+    Seeds[I] = M.fork(I).next();
+  return Seeds;
+}
+
+std::vector<AppVerdict> scalarVerdicts(AppKind K,
+                                       const sim::ChipProfile &Chip,
+                                       const stress::Environment &Env,
+                                       const sim::FencePolicy *Policy,
+                                       const std::vector<uint64_t> &Seeds) {
+  const auto Tuned = stress::TunedStressParams::paperDefaults(Chip);
+  sim::ExecutionContext Ctx;
+  std::vector<AppVerdict> V;
+  for (const uint64_t S : Seeds)
+    V.push_back(runApplicationOnce(Ctx, K, Chip, Env, Tuned, Policy, S));
+  return V;
+}
+
+std::vector<AppVerdict> batchedVerdicts(AppKind K,
+                                        const sim::ChipProfile &Chip,
+                                        const stress::Environment &Env,
+                                        const sim::FencePolicy *Policy,
+                                        const std::vector<uint64_t> &Seeds,
+                                        unsigned Width) {
+  const auto Tuned = stress::TunedStressParams::paperDefaults(Chip);
+  sim::ExecutionContext Ctx;
+  std::vector<AppVerdict> V(Seeds.size());
+  runApplicationBatch(Ctx, K, Chip, Env, Tuned, Policy, Seeds.data(),
+                      V.data(), Seeds.size(), Width);
+  return V;
+}
+
+const AppKind LowerableKinds[] = {AppKind::CbeHt,    AppKind::CbeDot,
+                                  AppKind::SdkRed,   AppKind::SdkRedNf,
+                                  AppKind::CubScan,  AppKind::CubScanNf};
+
+} // namespace
+
+TEST(AppBatchLowering, CapabilityMatrixIsStable) {
+  for (const AppKind K : LowerableKinds)
+    EXPECT_TRUE(appLowerable(K)) << appName(K);
+  EXPECT_FALSE(appLowerable(AppKind::CtOctree));
+  EXPECT_FALSE(appLowerable(AppKind::TpoTm));
+  EXPECT_FALSE(appLowerable(AppKind::LsBh));
+  EXPECT_FALSE(appLowerable(AppKind::LsBhNf));
+}
+
+class AppBatchIdentity : public ::testing::TestWithParam<AppKind> {};
+
+TEST_P(AppBatchIdentity, MatchesScalarAcrossEnvironments) {
+  // The tier-1 identity grid: every environment of the paper's sweep,
+  // unfenced, 24 runs each, verdict-for-verdict agreement.
+  const auto Seeds = forkSeeds(1010, 24);
+  for (const stress::Environment &Env : stress::Environment::all()) {
+    const auto Scalar =
+        scalarVerdicts(GetParam(), titan(), Env, nullptr, Seeds);
+    const auto Batched =
+        batchedVerdicts(GetParam(), titan(), Env, nullptr, Seeds, 8);
+    EXPECT_EQ(Scalar, Batched) << appName(GetParam()) << " " << Env.name();
+  }
+}
+
+TEST_P(AppBatchIdentity, MatchesScalarUnderFencePolicies) {
+  // Inserted fences reshape the op stream (two extra resumes per armed
+  // site); sweep all-sites plus every single-site policy.
+  const auto Seeds = forkSeeds(2020, 16);
+  const unsigned NumSites = appNumSites(GetParam());
+  std::vector<sim::FencePolicy> Policies;
+  Policies.push_back(sim::FencePolicy::all(NumSites));
+  for (unsigned S = 0; S != NumSites; ++S)
+    Policies.push_back(sim::FencePolicy::ofSites(NumSites, {S}));
+  for (const sim::FencePolicy &P : Policies) {
+    const auto Scalar =
+        scalarVerdicts(GetParam(), titan(), SysPlus, &P, Seeds);
+    const auto Batched =
+        batchedVerdicts(GetParam(), titan(), SysPlus, &P, Seeds, 8);
+    EXPECT_EQ(Scalar, Batched)
+        << appName(GetParam()) << " policy " << P.count() << " sites";
+  }
+}
+
+TEST_P(AppBatchIdentity, WidthSweepIncludingDegenerateAndOversized) {
+  // K = 1 (degenerate), K > N (oversized slab), awkward odd widths: the
+  // stripe width must never leak into results.
+  const auto Seeds = forkSeeds(3030, 12);
+  const auto Ref =
+      batchedVerdicts(GetParam(), titan(), SysPlus, nullptr, Seeds, 1);
+  for (const unsigned W : {2u, 5u, 12u, 64u, 256u})
+    EXPECT_EQ(Ref, batchedVerdicts(GetParam(), titan(), SysPlus, nullptr,
+                                   Seeds, W))
+        << appName(GetParam()) << " width " << W;
+}
+
+TEST_P(AppBatchIdentity, ChipRebindingInterleavings) {
+  // One context alternating between chips (and so between plan shapes —
+  // Kepler's 32-word patches vs. Maxwell's 64) must match per-chip
+  // scalar references run on fresh contexts.
+  const sim::ChipProfile &C980 = *sim::ChipProfile::lookup("980");
+  const auto Seeds = forkSeeds(4040, 10);
+  const auto RefTitan =
+      scalarVerdicts(GetParam(), titan(), SysPlus, nullptr, Seeds);
+  const auto Ref980 =
+      scalarVerdicts(GetParam(), C980, SysPlus, nullptr, Seeds);
+
+  sim::ExecutionContext Ctx;
+  for (size_t I = 0; I != Seeds.size(); ++I) {
+    const sim::ChipProfile &Chip = I % 2 ? C980 : titan();
+    AppVerdict V;
+    runApplicationBatch(Ctx, GetParam(), Chip, SysPlus,
+                        stress::TunedStressParams::paperDefaults(Chip),
+                        nullptr, &Seeds[I], &V, 1, 4);
+    EXPECT_EQ(V, (I % 2 ? Ref980 : RefTitan)[I])
+        << appName(GetParam()) << " run " << I;
+  }
+}
+
+TEST_P(AppBatchIdentity, TracedContextsFallBackToScalar) {
+  // A tracing request pins the batch API to the coroutine path — results
+  // must still be identical, and the trace seam stays authoritative.
+  const auto Seeds = forkSeeds(5050, 6);
+  const auto Ref =
+      scalarVerdicts(GetParam(), titan(), SysPlus, nullptr, Seeds);
+  const auto Tuned = stress::TunedStressParams::paperDefaults(titan());
+  sim::ExecutionContext Ctx;
+  Ctx.requestTracing(true);
+  std::vector<AppVerdict> V(Seeds.size());
+  runApplicationBatch(Ctx, GetParam(), titan(), SysPlus, Tuned, nullptr,
+                      Seeds.data(), V.data(), Seeds.size(), 8);
+  EXPECT_EQ(Ref, V) << appName(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Lowerable, AppBatchIdentity,
+                         ::testing::ValuesIn(LowerableKinds),
+                         [](const auto &Info) {
+                           std::string N = appName(Info.param);
+                           for (char &C : N)
+                             if (C == '-')
+                               C = '_';
+                           return N;
+                         });
+
+TEST(AppBatchFallback, UnlowerableAppsMatchScalarViaFallback) {
+  // runApplicationBatch on an irregular app silently takes the coroutine
+  // path run-for-run.
+  const auto Seeds = forkSeeds(6060, 6);
+  for (const AppKind K : {AppKind::LsBh, AppKind::TpoTm}) {
+    const auto Ref = scalarVerdicts(K, titan(), SysPlus, nullptr, Seeds);
+    EXPECT_EQ(Ref, batchedVerdicts(K, titan(), SysPlus, nullptr, Seeds, 8))
+        << appName(K);
+  }
+}
+
+TEST(AppBatchFallback, ScalarEngineModeForcesCoroutinePath) {
+  // --engine=scalar must be honoured by the batch API (identity again,
+  // but exercised through the mode switch).
+  const auto Seeds = forkSeeds(7070, 6);
+  const auto Ref =
+      scalarVerdicts(AppKind::CbeDot, titan(), SysPlus, nullptr, Seeds);
+  sim::setEngineMode(sim::EngineMode::Scalar);
+  const auto V =
+      batchedVerdicts(AppKind::CbeDot, titan(), SysPlus, nullptr, Seeds, 8);
+  sim::setEngineMode(sim::EngineMode::Auto);
+  EXPECT_EQ(Ref, V);
 }

@@ -281,3 +281,176 @@ TEST(FuzzPrograms, FiftyRandomProgramsMatchScalarBitForBit) {
   }
   EXPECT_EQ(Checked, 50u);
 }
+
+//===----------------------------------------------------------------------===//
+// Control-flow op semantics: the app-lowering ISA extensions (DESIGN.md
+// Sec. 19) exercised directly through runBatchProgram, independent of any
+// application emitter.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Runs a hand-assembled program once on a fresh context and returns the
+/// RunResult; \p Regs receives the run's final register stripe.
+sim::RunResult runRaw(const sim::BatchProgram &BP, sim::ExecutionContext &Ctx,
+                      std::vector<sim::Word> &Regs) {
+  sim::BatchRunConfig Cfg;
+  Cfg.MaxTicks = 100000;
+  Regs.assign(std::max(1u, BP.NumSlots), 0);
+  return sim::runBatchProgram(BP, titan(), Ctx.memory(), Ctx.rng(),
+                              Ctx.batchScratch(), Regs.data(), Cfg);
+}
+
+} // namespace
+
+TEST(BatchOpSemantics, FreeOpLoopWithBackwardBranch) {
+  // r0 = sum(0..4) computed entirely in free ops (MovImm/AddRR/AddImm/BrLt
+  // form a register loop), then written back. The whole loop must execute
+  // in the prefix of the single WbStore resume: exactly one suspending op
+  // means the run completes in a handful of ticks, never a timeout.
+  using sim::BatchOp;
+  using Code = sim::BatchOp::Code;
+  sim::ExecutionContext Ctx;
+  Ctx.reset(titan(), 7);
+  const sim::Addr Out = Ctx.memory().alloc(1);
+
+  sim::BatchProgram BP;
+  BP.GridDim = 1;
+  BP.BlockDim = 1;
+  BP.NumSlots = 2;
+  BP.Ops.push_back({Code::MovImm, 0, 0, 0, 0}); // r0 = 0
+  BP.Ops.push_back({Code::MovImm, 1, 0, 0, 0}); // r1 = 0
+  BP.Ops.push_back({Code::AddRR, 0, 0, 1, 0});  // loop: r0 = r0 + r1
+  BP.Ops.push_back({Code::AddImm, 1, 1, 0, 1}); // r1 += 1
+  BP.Ops.push_back({Code::BrLt, 1, 0, 2, 5});   // if (r1 < 5) goto loop
+  BP.Ops.push_back({Code::WbStore, 0, 0, Out, 0});
+  BP.Lanes.push_back({0, static_cast<uint32_t>(BP.Ops.size())});
+
+  std::vector<sim::Word> Regs;
+  const sim::RunResult R = runRaw(BP, Ctx, Regs);
+  EXPECT_EQ(R.Status, sim::RunStatus::Completed);
+  EXPECT_EQ(Ctx.memory().hostRead(Out), 10u);
+  EXPECT_EQ(Regs[0], 10u);
+  EXPECT_EQ(Regs[1], 5u);
+}
+
+TEST(BatchOpSemantics, IndexedAddressingRoundTrip) {
+  // MulImm/ModImm compute a bucket index; StoreIdx writes through it and
+  // LoadIdx reads it back — the cbe-ht addressing shape in isolation.
+  using Code = sim::BatchOp::Code;
+  sim::ExecutionContext Ctx;
+  Ctx.reset(titan(), 11);
+  const sim::Addr Table = Ctx.memory().alloc(8);
+  const sim::Addr Out = Ctx.memory().alloc(1);
+
+  sim::BatchProgram BP;
+  BP.GridDim = 1;
+  BP.BlockDim = 1;
+  BP.NumSlots = 3;
+  BP.Ops.push_back({Code::MovImm, 0, 0, 0, 7});       // r0 = 7
+  BP.Ops.push_back({Code::MulImm, 1, 0, 0, 3});       // r1 = 21
+  BP.Ops.push_back({Code::ModImm, 1, 1, 0, 8});       // r1 = 5
+  BP.Ops.push_back({Code::StoreIdx, 0, 1, Table, 9}); // Table[5] = 9
+  BP.Ops.push_back({Code::LoadIdx, 2, 1, Table, 0});  // r2 = Table[5]
+  BP.Ops.push_back({Code::WbStore, 2, 0, Out, 0});
+  BP.Lanes.push_back({0, static_cast<uint32_t>(BP.Ops.size())});
+
+  std::vector<sim::Word> Regs;
+  const sim::RunResult R = runRaw(BP, Ctx, Regs);
+  EXPECT_EQ(R.Status, sim::RunStatus::Completed);
+  EXPECT_EQ(Ctx.memory().hostRead(Table + 5), 9u);
+  EXPECT_EQ(Ctx.memory().hostRead(Out), 9u);
+}
+
+TEST(BatchOpSemantics, AtomicReturnValueOps) {
+  // AtomicCas packs (compare, value) into Imm's (low, high) halves and
+  // returns the old word; AtomicAddReg returns the pre-add value (a ticket
+  // draw); AtomicExch is fire-and-forget. Single lane, so the sequence is
+  // fully determined.
+  using Code = sim::BatchOp::Code;
+  sim::ExecutionContext Ctx;
+  Ctx.reset(titan(), 13);
+  const sim::Addr M = Ctx.memory().alloc(1);
+  const sim::Addr Out = Ctx.memory().alloc(3);
+
+  sim::BatchProgram BP;
+  BP.GridDim = 1;
+  BP.BlockDim = 1;
+  BP.NumSlots = 3;
+  // CAS(M, compare 0, value 1): succeeds, old value 0.
+  BP.Ops.push_back({Code::AtomicCas, 0, 0, M, 1u << 16});
+  // CAS(M, compare 0, value 7): fails (M == 1), old value 1.
+  BP.Ops.push_back({Code::AtomicCas, 1, 0, M, 7u << 16});
+  // Exch(M, 5), then AtomicAddReg returns the pre-add 5 and leaves 11.
+  BP.Ops.push_back({Code::AtomicExch, 0, 0, M, 5});
+  BP.Ops.push_back({Code::AtomicAddReg, 2, 0, M, 6});
+  BP.Ops.push_back({Code::WbStore, 0, 0, Out + 0, 0});
+  BP.Ops.push_back({Code::WbStore, 1, 0, Out + 1, 0});
+  BP.Ops.push_back({Code::WbStore, 2, 0, Out + 2, 0});
+  BP.Lanes.push_back({0, static_cast<uint32_t>(BP.Ops.size())});
+
+  std::vector<sim::Word> Regs;
+  const sim::RunResult R = runRaw(BP, Ctx, Regs);
+  EXPECT_EQ(R.Status, sim::RunStatus::Completed);
+  EXPECT_EQ(Ctx.memory().hostRead(Out + 0), 0u);
+  EXPECT_EQ(Ctx.memory().hostRead(Out + 1), 1u);
+  EXPECT_EQ(Ctx.memory().hostRead(Out + 2), 5u);
+  EXPECT_EQ(Ctx.memory().hostRead(M), 11u);
+}
+
+TEST(BatchOpSemantics, BarrierSynchronisesBlockStores) {
+  // Producer stores then barriers; consumer barriers then loads. The
+  // release fences every parked lane's store buffer (block scope), so the
+  // consumer must observe the store — the sdk-red partial-sum handoff in
+  // miniature.
+  using Code = sim::BatchOp::Code;
+  sim::ExecutionContext Ctx;
+  Ctx.reset(titan(), 17);
+  const sim::Addr A = Ctx.memory().alloc(1);
+  const sim::Addr Out = Ctx.memory().alloc(1);
+
+  sim::BatchProgram BP;
+  BP.GridDim = 1;
+  BP.BlockDim = 2;
+  BP.NumSlots = 1;
+  const uint32_t P0 = static_cast<uint32_t>(BP.Ops.size());
+  BP.Ops.push_back({Code::Store, 0, 0, A, 1});
+  BP.Ops.push_back({Code::Barrier, 0, 0, 0, 0});
+  const uint32_t P1 = static_cast<uint32_t>(BP.Ops.size());
+  BP.Ops.push_back({Code::Barrier, 0, 0, 0, 0});
+  BP.Ops.push_back({Code::Load, 0, 0, A, 0});
+  BP.Ops.push_back({Code::WbStore, 0, 0, Out, 0});
+  const uint32_t End = static_cast<uint32_t>(BP.Ops.size());
+  BP.Lanes.push_back({P0, P1});
+  BP.Lanes.push_back({P1, End});
+
+  std::vector<sim::Word> Regs;
+  const sim::RunResult R = runRaw(BP, Ctx, Regs);
+  EXPECT_EQ(R.Status, sim::RunStatus::Completed);
+  EXPECT_EQ(Ctx.memory().hostRead(Out), 1u);
+}
+
+TEST(BatchOpSemantics, BarrierDivergenceIsDetected) {
+  // One lane parks at a barrier its sibling never reaches (the sibling
+  // sleeps and completes). CUDA calls this UB; the engine classifies it
+  // as BarrierDivergence exactly as the coroutine scheduler does.
+  using Code = sim::BatchOp::Code;
+  sim::ExecutionContext Ctx;
+  Ctx.reset(titan(), 19);
+
+  sim::BatchProgram BP;
+  BP.GridDim = 1;
+  BP.BlockDim = 2;
+  BP.NumSlots = 1;
+  const uint32_t P0 = static_cast<uint32_t>(BP.Ops.size());
+  BP.Ops.push_back({Code::Barrier, 0, 0, 0, 0});
+  const uint32_t P1 = static_cast<uint32_t>(BP.Ops.size());
+  BP.Ops.push_back({Code::Sleep, 0, 0, 0, 5});
+  const uint32_t End = static_cast<uint32_t>(BP.Ops.size());
+  BP.Lanes.push_back({P0, P1});
+  BP.Lanes.push_back({P1, End});
+
+  std::vector<sim::Word> Regs;
+  const sim::RunResult R = runRaw(BP, Ctx, Regs);
+  EXPECT_EQ(R.Status, sim::RunStatus::BarrierDivergence);
+}

@@ -416,4 +416,50 @@ TEST(GoldenCampaignTest, SubGridSummariesArePinned) {
     }
 }
 
+//===----------------------------------------------------------------------===//
+// Golden engine grid: scalar and batched campaigns are interchangeable
+//===----------------------------------------------------------------------===//
+
+TEST(GoldenCampaignTest, EngineJobsAndBatchWidthGridIsInvariant) {
+  // The batched application engine (DESIGN.md Sec. 19) must leave every
+  // campaign number untouched: a sub-grid mixing lowerable kernels
+  // (cbe-dot, sdk-red, cub-scan) with a coroutine-only fallback (ls-bh),
+  // with the streaming oracle sampling every 5th run, is executed under
+  // engine {scalar, auto} x jobs {1, 8} x batch width {1, 64} and every
+  // combination must reproduce the scalar/serial reference cell for cell
+  // — error counts, oracle tallies and all.
+  harness::CampaignConfig Config;
+  Config.Chips = {sim::ChipProfile::lookup("titan")};
+  Config.Envs = {{stress::StressKind::None, false},
+                 {stress::StressKind::Sys, true}};
+  Config.Apps = {apps::AppKind::CbeDot, apps::AppKind::SdkRed,
+                 apps::AppKind::CubScan, apps::AppKind::LsBh};
+  Config.Runs = 16;
+  Config.Seed = 42;
+  Config.OracleEvery = 5;
+
+  sim::setEngineMode(sim::EngineMode::Scalar);
+  const auto Reference = harness::runCampaign(Config);
+  ASSERT_EQ(Reference.Cells.size(), 8u);
+
+  for (sim::EngineMode Mode :
+       {sim::EngineMode::Scalar, sim::EngineMode::Auto}) {
+    sim::setEngineMode(Mode);
+    for (unsigned Jobs : {1u, 8u}) {
+      for (unsigned Width : {1u, 64u}) {
+        sim::setDefaultBatchWidth(Width);
+        ThreadPool Pool(Jobs);
+        const auto Report = harness::runCampaign(Config, &Pool);
+        ASSERT_EQ(Report.Cells.size(), Reference.Cells.size());
+        for (size_t I = 0; I != Report.Cells.size(); ++I)
+          EXPECT_EQ(Report.Cells[I].Result, Reference.Cells[I].Result)
+              << "engine=" << sim::engineModeName(Mode)
+              << " jobs=" << Jobs << " batch=" << Width << " cell " << I;
+      }
+    }
+  }
+  sim::setDefaultBatchWidth(0);
+  sim::setEngineMode(sim::EngineMode::Auto);
+}
+
 } // namespace

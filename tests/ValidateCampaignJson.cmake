@@ -90,6 +90,14 @@ foreach(I RANGE ${LAST})
   if(NOT CVIOL EQUAL 0)
     message(FATAL_ERROR "cell ${I}: ${CVIOL} oracle violation(s)")
   endif()
+  # The engine field (schema v2, additive): both grid apps lower to the
+  # batched engine, and this validator runs without --engine, so every
+  # cell must report the batched path.
+  string(JSON CENGINE ERROR_VARIABLE ERR GET "${REPORT}" cells ${I} engine)
+  if(NOT CENGINE STREQUAL "batched")
+    message(FATAL_ERROR "cell ${I}: expected engine 'batched', got"
+                        " ${CENGINE} ${ERR}")
+  endif()
   list(APPEND SEEN "${CCHIP}/${CENV}/${CAPP}")
 endforeach()
 
@@ -181,7 +189,7 @@ foreach(I RANGE ${LAST})
   endif()
   # Counts must not depend on the oracle: compare against the oracle-off
   # report field by field.
-  foreach(FIELD chip env app runs errors timeouts)
+  foreach(FIELD chip env app runs errors timeouts engine)
     string(JSON AVAL GET "${ALL_REPORT}" cells ${I} ${FIELD})
     string(JSON OVAL GET "${OFF_REPORT}" cells ${I} ${FIELD})
     if(NOT AVAL STREQUAL OVAL)

@@ -14,6 +14,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "apps/AppCompile.h"
 #include "fuzz/LitmusBridge.h"
 #include "fuzz/ProgramFuzzer.h"
 #include "fuzz/Shrink.h"
@@ -112,9 +113,12 @@ int usage() {
       "\n"
       "common options: --seed=N; --jobs=N worker threads (results are\n"
       "identical for every N; default GPUWMM_JOBS or all cores);\n"
-      "--batch=K seeds per batch in the batched litmus engine (results\n"
-      "are identical for every K; default GPUWMM_BATCH or 64);\n"
-      "GPUWMM_SCALE scales run counts globally\n");
+      "--batch=K seeds per batch in the batched litmus and application\n"
+      "engines (results are identical for every K; default GPUWMM_BATCH\n"
+      "or 64); --engine=auto|scalar|batched engine selection (auto\n"
+      "batches wherever the kernel lowers; batched fails on kernels\n"
+      "that cannot lower; results are engine-independent; default\n"
+      "GPUWMM_ENGINE or auto); GPUWMM_SCALE scales run counts globally\n");
   return 2;
 }
 
@@ -368,6 +372,20 @@ int cmdTune(const Options &Opts) {
   return 0;
 }
 
+/// Under --engine=batched, refuses (exit 2) an application the compiler
+/// cannot lower; --engine=auto falls back to the scalar engine silently.
+void dieIfBatchedUnlowerable(apps::AppKind App) {
+  if (sim::engineMode() != sim::EngineMode::Batched ||
+      apps::appLowerable(App))
+    return;
+  std::fprintf(stderr,
+               "error: --engine=batched, but app '%s' does not lower to "
+               "the batched engine (irregular control flow); drop the "
+               "flag or use --engine=auto for automatic fallback\n",
+               apps::appName(App));
+  std::exit(2);
+}
+
 int cmdTest(const Options &Opts) {
   const sim::ChipProfile *Chip = chipOrDie(Opts);
   const auto App = apps::parseAppName(Opts.getString("app", "cbe-dot"));
@@ -375,6 +393,7 @@ int cmdTest(const Options &Opts) {
     std::fprintf(stderr, "error: unknown app\n");
     return 2;
   }
+  dieIfBatchedUnlowerable(*App);
   const auto Env =
       stress::Environment::parse(Opts.getString("env", "sys-str+"));
   if (!Env) {
@@ -403,6 +422,7 @@ int cmdHarden(const Options &Opts) {
     std::fprintf(stderr, "error: unknown app\n");
     return 2;
   }
+  dieIfBatchedUnlowerable(*App);
   const unsigned StableRuns = static_cast<unsigned>(
       Opts.getInt("stable-runs", scaledCount(300)));
   ThreadPool Pool = makePool(Opts);
@@ -805,6 +825,8 @@ int cmdCampaign(const Options &Opts) {
     std::fprintf(stderr, "error: empty campaign grid\n");
     return 2;
   }
+  for (apps::AppKind App : Config.Apps)
+    dieIfBatchedUnlowerable(App);
   Config.Runs =
       static_cast<unsigned>(Opts.getInt("runs", scaledCount(100)));
   Config.Seed = static_cast<uint64_t>(Opts.getInt("seed", 1));
@@ -895,6 +917,21 @@ int main(int Argc, char **Argv) {
   if (const int64_t Batch =
           Opts.getPositiveInt("batch", 0, sim::MaxBatchWidth))
     sim::setDefaultBatchWidth(static_cast<unsigned>(Batch));
+  // --engine selects the execution engine globally (results are
+  // engine-independent; batched additionally refuses kernels that cannot
+  // lower). An explicit flag must parse, unlike GPUWMM_ENGINE which
+  // warns and falls back.
+  if (Opts.has("engine")) {
+    const std::string Name = Opts.getString("engine", "");
+    const auto Mode = sim::parseEngineMode(Name);
+    if (!Mode) {
+      std::fprintf(stderr, "error: invalid --engine='%s' (must be auto, "
+                           "scalar or batched)\n",
+                   Name.c_str());
+      return 2;
+    }
+    sim::setEngineMode(*Mode);
+  }
   if (!std::strcmp(Cmd, "chips"))
     return cmdChips();
   if (!std::strcmp(Cmd, "litmus")) {
